@@ -1,0 +1,46 @@
+"""Ablation (DESIGN.md §5.1) — hash-based duplicate elimination.
+
+Disabling duplicate detection makes every DOM observation a new state:
+next-then-prev pairs and jump links re-materialize known comment pages
+until the per-page state cap is hit.  This regenerates the §3.2 argument
+for content hashing.
+"""
+
+from repro.experiments import datasets
+from repro.experiments.harness import emit, format_table
+
+
+def run_ablation(num_videos: int = 60):
+    with_dedup = datasets.crawl_ajax(num_videos)
+    without = datasets.crawl_ajax(num_videos, max_additional_states=30)
+    # Re-crawl with dedup disabled (not memoized: bespoke config).
+    from repro.crawler import AjaxCrawler, CrawlerConfig
+
+    site = datasets.get_site(max(num_videos, datasets.FULL_VIDEOS))
+    crawler = AjaxCrawler(
+        site,
+        CrawlerConfig(deduplicate_states=False, max_additional_states=30),
+        cost_model=datasets.experiment_cost_model(),
+    )
+    no_dedup = crawler.crawl([site.video_url(i) for i in range(num_videos)])
+    return with_dedup.report, no_dedup.report
+
+
+def test_ablation_dedup(benchmark):
+    dedup_report, no_dedup_report = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        ("States", dedup_report.total_states, no_dedup_report.total_states),
+        ("Events invoked", dedup_report.total_events, no_dedup_report.total_events),
+        ("Crawl time (s)", dedup_report.total_time_ms / 1000, no_dedup_report.total_time_ms / 1000),
+    ]
+    emit(
+        "ablation_dedup",
+        format_table(
+            ["Metric", "With dedup", "Without dedup"],
+            rows,
+            title="Ablation: duplicate elimination disabled (state explosion)",
+        ),
+    )
+    # Without dedup the model explodes towards the state cap.
+    assert no_dedup_report.total_states > 1.5 * dedup_report.total_states
+    assert no_dedup_report.total_time_ms > dedup_report.total_time_ms

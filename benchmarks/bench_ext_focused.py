@@ -1,0 +1,68 @@
+"""Extension bench — focused AJAX crawling (§7.2.2 / ch. 10 future work).
+
+A profile-guided crawl restricts the number of crawled states while
+retaining most of the results relevant to the profile.
+"""
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, FocusedAjaxCrawler, InterestProfile
+from repro.experiments.harness import emit, format_table
+from repro.search import SearchEngine
+from repro.sites import SiteConfig, SyntheticYouTube
+
+PROFILE_TERMS = ("wow", "dance", "funny")
+CONTROL_TERMS = ("kiss", "fight", "low")
+
+
+def run_comparison(num_videos: int = 120):
+    site = SyntheticYouTube(SiteConfig(num_videos=num_videos, seed=7))
+    urls = [site.video_url(i) for i in range(num_videos)]
+    cost = CostModel(network_jitter=0.0)
+    full = AjaxCrawler(site, cost_model=cost).crawl(urls)
+    focused = FocusedAjaxCrawler(
+        site,
+        InterestProfile(PROFILE_TERMS),
+        min_relevance=0.0,
+        cost_model=CostModel(network_jitter=0.0),
+    ).crawl(urls)
+    full_engine = SearchEngine.build(full.models)
+    focused_engine = SearchEngine.build(focused.models)
+
+    def retained(terms):
+        kept = total = 0
+        for term in terms:
+            total += full_engine.result_count(term)
+            kept += focused_engine.result_count(term)
+        return kept / total if total else 1.0
+
+    return {
+        "full_states": full.report.total_states,
+        "focused_states": focused.report.total_states,
+        "full_time_s": full.report.total_time_ms / 1000,
+        "focused_time_s": focused.report.total_time_ms / 1000,
+        "profile_retained": retained(PROFILE_TERMS),
+        "control_retained": retained(CONTROL_TERMS),
+    }
+
+
+def test_focused_crawl(benchmark):
+    outcome = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [
+        ("States crawled", outcome["full_states"], outcome["focused_states"]),
+        ("Crawl time (s)", outcome["full_time_s"], outcome["focused_time_s"]),
+        ("Profile-term results retained", "100%", f"{outcome['profile_retained']:.0%}"),
+        ("Control-term results retained", "100%", f"{outcome['control_retained']:.0%}"),
+    ]
+    emit(
+        "ext_focused",
+        format_table(
+            ["Metric", "Full crawl", "Focused crawl"],
+            rows,
+            title="Extension: focused crawling with profile "
+            f"{PROFILE_TERMS}",
+        ),
+    )
+    assert outcome["focused_states"] < outcome["full_states"]
+    assert outcome["focused_time_s"] < outcome["full_time_s"]
+    # The focused crawl keeps most of the profile's results.
+    assert outcome["profile_retained"] > 0.6

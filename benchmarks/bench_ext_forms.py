@@ -1,0 +1,53 @@
+"""Extension bench — form-filling crawl of a Suggest-style app.
+
+The basic crawler indexes nothing behind the form; the form-filling
+crawler surfaces one state per distinct suggestion list.
+"""
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, FormFillingAjaxCrawler
+from repro.experiments.harness import emit, format_table
+from repro.search import SearchEngine
+from repro.sites import SyntheticSuggest
+
+DICTIONARY = ("dance", "funny", "american", "chris", "wow", "qqq")
+
+
+def run_comparison():
+    site = SyntheticSuggest()
+    cost = CostModel(network_jitter=0.0)
+    basic = AjaxCrawler(site, cost_model=cost).crawl_page(site.search_url)
+    filled = FormFillingAjaxCrawler(
+        site, DICTIONARY, cost_model=CostModel(network_jitter=0.0)
+    ).crawl_page(site.search_url)
+    basic_engine = SearchEngine.build([basic.model])
+    filled_engine = SearchEngine.build([filled.model])
+    probe_queries = ("tutorial", "idol", "cats", "gameplay")
+    return {
+        "basic_states": basic.model.num_states,
+        "filled_states": filled.model.num_states,
+        "filled_events": filled.metrics.events_invoked,
+        "basic_hits": sum(basic_engine.result_count(q) for q in probe_queries),
+        "filled_hits": sum(filled_engine.result_count(q) for q in probe_queries),
+    }
+
+
+def test_form_filling_crawl(benchmark):
+    outcome = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [
+        ("States", outcome["basic_states"], outcome["filled_states"]),
+        ("Probes fired", 0, outcome["filled_events"]),
+        ("Suggestion-content hits", outcome["basic_hits"], outcome["filled_hits"]),
+    ]
+    emit(
+        "ext_forms",
+        format_table(
+            ["Metric", "Basic crawler", "Form-filling crawler"],
+            rows,
+            title="Extension: Deep-Web-style form filling on SimSuggest",
+        ),
+    )
+    assert outcome["basic_states"] == 1
+    assert outcome["filled_states"] > outcome["basic_states"]
+    assert outcome["basic_hits"] == 0
+    assert outcome["filled_hits"] > 0

@@ -1,0 +1,44 @@
+"""Extension bench — incremental recrawling (ch. 10 future work).
+
+A second crawl session over an unchanged site skips the events the first
+session proved to be no-ops, cutting event invocations and crawl time.
+"""
+
+from repro.clock import CostModel
+from repro.crawler import IncrementalAjaxCrawler
+from repro.experiments.harness import emit, format_table
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+def run_sessions(num_videos: int = 80):
+    site = SyntheticYouTube(SiteConfig(num_videos=num_videos, seed=7, decorative_events=True))
+    urls = [site.video_url(i) for i in range(num_videos)]
+    cost = CostModel(network_jitter=0.0)
+    first = IncrementalAjaxCrawler(site, cost_model=cost)
+    first_result = first.crawl(urls)
+    second = IncrementalAjaxCrawler(site, history=first.history, cost_model=CostModel(network_jitter=0.0))
+    second_result = second.crawl(urls)
+    return first_result.report, second_result.report
+
+
+def test_incremental_recrawl(benchmark):
+    first, second = benchmark.pedantic(run_sessions, rounds=1, iterations=1)
+    skipped = sum(p.events_skipped_from_history for p in second.pages)
+    rows = [
+        ("Events invoked", first.total_events, second.total_events),
+        ("Events skipped (history)", 0, skipped),
+        ("States", first.total_states, second.total_states),
+        ("Crawl time (s)", first.total_time_ms / 1000, second.total_time_ms / 1000),
+    ]
+    emit(
+        "ext_incremental",
+        format_table(
+            ["Metric", "Session 1", "Session 2"],
+            rows,
+            title="Extension: incremental recrawl of an unchanged site",
+        ),
+    )
+    assert skipped > 0
+    assert second.total_events < first.total_events
+    assert second.total_time_ms < first.total_time_ms
+    assert second.total_states == first.total_states  # same content crawled

@@ -1,0 +1,19 @@
+"""Figure 7.1 — distribution of videos per number of comment pages.
+
+Paper: most videos have a single page of comments; a heavy tail of
+videos has many more, which is what makes AJAX crawling worthwhile.
+"""
+
+from repro.experiments.exp_dataset import figure_7_1, format_figure_7_1
+from repro.experiments.harness import emit
+
+
+def test_figure_7_1(benchmark):
+    histogram = benchmark.pedantic(figure_7_1, rounds=1, iterations=1)
+    emit("fig_7_1", format_figure_7_1(histogram))
+    total = sum(histogram.values())
+    # Mode at one page, > 30% of all videos.
+    assert max(histogram, key=histogram.get) == 1
+    assert histogram[1] / total > 0.3
+    # Heavy tail: some videos have ten or more pages.
+    assert sum(count for pages, count in histogram.items() if pages >= 10) > 0

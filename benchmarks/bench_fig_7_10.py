@@ -1,0 +1,29 @@
+"""Figure 7.10 — result throughput vs number of crawled/indexed states.
+
+Paper: relative result throughput of AJAX vs traditional decreases
+significantly as more states are indexed; a limit of 0.4 suggests
+crawling ~5 states.
+"""
+
+from repro.experiments.exp_threshold import (
+    crawl_threshold,
+    format_figure_7_10,
+    threshold_study,
+)
+from repro.experiments.harness import emit
+
+
+def test_figure_7_10(benchmark):
+    points = benchmark.pedantic(threshold_study, rounds=1, iterations=1)
+    emit("fig_7_10", format_figure_7_10(points))
+    # Result volume grows monotonically with indexed states.
+    results = [p.total_results for p in points]
+    assert results == sorted(results)
+    assert results[-1] > results[0]
+    # Relative query throughput decreases significantly as more AJAX
+    # content is indexed (the paper's central Figure 7.10 claim).
+    base = points[0].throughput
+    assert points[-1].throughput < 0.8 * base
+    # A 0.4-relative-throughput limit lands on a small number of states.
+    threshold = crawl_threshold(points, limit=0.4)
+    assert 1 <= threshold <= 11

@@ -1,0 +1,30 @@
+"""Figure 7.11 — 1 − RelRecall of traditional vs AJAX search.
+
+Paper: the recall gain grows with the number of indexed states but with
+a decreasing gradient — each extra state helps less.  A 0.7 threshold
+suggests crawling ~4 states.
+"""
+
+from repro.experiments.exp_threshold import (
+    format_figure_7_11,
+    recall_threshold,
+    threshold_study,
+)
+from repro.experiments.harness import emit
+
+
+def test_figure_7_11(benchmark):
+    points = benchmark.pedantic(threshold_study, rounds=1, iterations=1)
+    emit("fig_7_11", format_figure_7_11(points))
+    gains = [p.recall_gain for p in points]
+    # k=1 is the traditional index itself: zero gain.
+    assert gains[0] == 0.0
+    # Gain increases with indexed states...
+    assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+    assert gains[-1] > 0.2
+    # ...with a decreasing gradient (diminishing returns).
+    first_half_gain = gains[5] - gains[0]
+    second_half_gain = gains[-1] - gains[5]
+    assert second_half_gain < first_half_gain
+    # The 0.7 threshold rule lands on a small number of states (paper: 4).
+    assert 2 <= recall_threshold(points, target=0.7) <= 8

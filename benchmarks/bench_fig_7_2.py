@@ -1,0 +1,23 @@
+"""Figure 7.2 — number of states and events vs number of crawled videos.
+
+Paper: both grow with the number of videos, events growing faster than
+states (every state exposes several events).
+"""
+
+from repro.experiments.exp_dataset import figure_7_2, format_figure_7_2
+from repro.experiments.harness import emit
+
+
+def test_figure_7_2(benchmark):
+    points = benchmark.pedantic(figure_7_2, rounds=1, iterations=1)
+    emit("fig_7_2", format_figure_7_2(points))
+    # Monotone growth in both series.
+    states = [p.states for p in points]
+    events = [p.events for p in points]
+    assert states == sorted(states)
+    assert events == sorted(events)
+    # Events dominate states at every subset size.
+    assert all(p.events > p.states for p in points if p.states > p.videos)
+    # Events per state stay in the paper's regime (~4.5).
+    last = points[-1]
+    assert 3.0 < last.events / last.states < 7.0

@@ -1,0 +1,19 @@
+"""Figure 7.4 — crawling time per video vs number of crawled states.
+
+Paper: crawl time grows linearly with the number of states; the lower
+curve (network time deducted) shows model maintenance as the main
+processing cost.
+"""
+
+from repro.experiments.exp_crawl import figure_7_4, format_figure_7_4, linearity_correlation
+from repro.experiments.harness import emit
+
+
+def test_figure_7_4(benchmark):
+    points = benchmark.pedantic(figure_7_4, rounds=1, iterations=1)
+    emit("fig_7_4", format_figure_7_4(points))
+    # Strong linearity of crawl time in the state count.
+    assert linearity_correlation(points) > 0.97
+    # Processing time (minus network) also grows and stays below total.
+    assert all(p.mean_processing_time_ms < p.mean_crawl_time_ms for p in points)
+    assert points[-1].mean_crawl_time_ms > points[0].mean_crawl_time_ms

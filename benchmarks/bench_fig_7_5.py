@@ -1,0 +1,24 @@
+"""Figure 7.5 — AJAX events resulting in network calls, with/without caching.
+
+Paper: at 100 videos, 1790 calls without the hot-node policy vs 359 with
+it — a factor of five.  Without caching, *every* invoked event costs a
+network round trip.
+"""
+
+from repro.experiments.exp_caching import caching_study, format_figure_7_5
+from repro.experiments.harness import emit
+
+
+def test_figure_7_5(benchmark):
+    points = benchmark.pedantic(caching_study, rounds=1, iterations=1)
+    emit("fig_7_5", format_figure_7_5(points))
+    largest = points[-1]
+    assert largest.videos == 100
+    # Caching cuts calls by a clear factor (paper: ~5x).
+    assert largest.call_reduction_factor > 2.5
+    # Both series grow with the number of videos.
+    with_cache = [p.calls_with_cache for p in points]
+    without = [p.calls_without_cache for p in points]
+    assert with_cache == sorted(with_cache)
+    assert without == sorted(without)
+    assert all(p.calls_with_cache < p.calls_without_cache for p in points)

@@ -1,0 +1,17 @@
+"""Figure 7.6 — network time with and without the hot-node policy.
+
+Paper: the caching policy reduces network time to a factor of ~0.37 of
+the uncached crawl.
+"""
+
+from repro.experiments.exp_caching import caching_study, format_figure_7_6
+from repro.experiments.harness import emit
+
+
+def test_figure_7_6(benchmark):
+    points = benchmark.pedantic(caching_study, rounds=1, iterations=1)
+    emit("fig_7_6", format_figure_7_6(points))
+    largest = points[-1]
+    # Cached network time is a small fraction of uncached (paper: 0.37).
+    assert largest.network_time_ratio < 0.6
+    assert all(p.network_ms_with_cache < p.network_ms_without_cache for p in points)

@@ -1,0 +1,18 @@
+"""Figure 7.7 — state throughput per second with and without the
+hot-node policy.
+
+Paper: overall crawl throughput improves by a factor of ~1.6 when the
+hot-node cache is active.
+"""
+
+from repro.experiments.exp_caching import caching_study, format_figure_7_7
+from repro.experiments.harness import emit
+
+
+def test_figure_7_7(benchmark):
+    points = benchmark.pedantic(caching_study, rounds=1, iterations=1)
+    emit("fig_7_7", format_figure_7_7(points))
+    largest = points[-1]
+    # Paper: ~1.6x throughput gain.
+    assert largest.throughput_gain > 1.15
+    assert all(p.throughput_with_cache > p.throughput_without_cache for p in points)

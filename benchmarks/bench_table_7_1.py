@@ -1,0 +1,20 @@
+"""Table 7.1 — statistics of the crawled dataset.
+
+Paper (YouTube10000): 10000 pages, 41572 states, 187980 events,
+18.8 events/page, 37349 events leading to network (~80% reduction).
+Shape to reproduce: ~4 states/page, ~4.5 events/state, hot nodes cut
+network calls by roughly a factor of five.
+"""
+
+from repro.experiments.exp_dataset import format_table_7_1, table_7_1
+from repro.experiments.harness import emit
+
+
+def test_table_7_1(benchmark):
+    stats = benchmark.pedantic(table_7_1, rounds=1, iterations=1)
+    emit("table_7_1", format_table_7_1(stats))
+    # Shape assertions against the paper.
+    assert 2.0 < stats.total_states / stats.num_pages < 7.0
+    assert 3.0 < stats.total_events / stats.total_states < 7.0
+    assert stats.network_reduction > 0.6  # paper: ~80%
+    assert stats.events_leading_to_network < stats.total_events

@@ -1,0 +1,22 @@
+"""Table 7.2 — crawling times and overhead of AJAX crawling.
+
+Paper: total/per-page overhead x9.43, per-state overhead x2.27.
+Shape to reproduce: AJAX crawling costs several times more per page, but
+only ~2-3x per *state* (the honest unit of crawled content).
+"""
+
+import pytest
+
+from repro.experiments.exp_crawl import format_table_7_2, table_7_2
+from repro.experiments.harness import emit
+
+
+def test_table_7_2(benchmark):
+    overhead = benchmark.pedantic(table_7_2, rounds=1, iterations=1)
+    emit("table_7_2", format_table_7_2(overhead))
+    # Per-page and total ratios are identical by construction.
+    assert overhead.total.ratio > 3.0  # paper: 9.43
+    assert overhead.total.ratio == pytest.approx(overhead.per_page.ratio)
+    # Per-state overhead is far smaller (paper: 2.27).
+    assert 1.0 < overhead.per_state.ratio < 4.0
+    assert overhead.per_state.ratio < overhead.per_page.ratio

@@ -1,0 +1,16 @@
+"""Table 7.3 — parallel crawling times for traditional and AJAX crawling.
+
+Paper: with four process lines, AJAX/traditional overhead is x8.80 per
+page and x2.11 per state — slightly lower than the serial ratios.
+"""
+
+from repro.experiments.exp_parallel import format_table_7_3, table_7_3
+from repro.experiments.harness import emit
+
+
+def test_table_7_3(benchmark):
+    overhead = benchmark.pedantic(table_7_3, rounds=1, iterations=1)
+    emit("table_7_3", format_table_7_3(overhead))
+    assert overhead.per_page.ratio > 3.0  # paper: 8.80
+    assert 1.0 < overhead.per_state.ratio < 4.0  # paper: 2.11
+    assert overhead.per_state.ratio < overhead.per_page.ratio

@@ -1,0 +1,26 @@
+"""Table 7.4 — the query workload: occurrences on the first comment page
+vs on all pages.
+
+Paper: every query matches several times more states in the AJAX index
+than in the first-page (traditional) index — e.g. "wow": 310 first-page
+vs 2041 total.
+"""
+
+from repro.experiments.exp_query import format_table_7_4, table_7_4
+from repro.experiments.harness import emit
+
+
+def test_table_7_4(benchmark):
+    rows = benchmark.pedantic(table_7_4, rounds=1, iterations=1)
+    emit("table_7_4", format_table_7_4(rows))
+    assert len(rows) == 11
+    # Every query gains results from AJAX content.
+    answerable = [row for row in rows if row.all_pages > 0]
+    assert len(answerable) >= 9
+    assert all(row.all_pages >= row.first_page for row in rows)
+    # The aggregate gain factor is in the paper's regime (~6-10x).
+    total_first = sum(row.first_page for row in rows)
+    total_all = sum(row.all_pages for row in rows)
+    assert total_all > 2 * total_first
+    # Popularity order: Q1 ("wow") beats Q11 ("low").
+    assert rows[0].all_pages > rows[-1].all_pages

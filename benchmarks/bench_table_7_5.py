@@ -1,0 +1,21 @@
+"""Table 7.5 — query processing times, traditional vs AJAX index.
+
+Paper: query times on the AJAX index are clearly larger than on the
+traditional one (more states, more postings), with strong variation
+across queries.
+"""
+
+from repro.experiments.exp_query import format_table_7_5, table_7_5
+from repro.experiments.harness import emit
+
+
+def test_table_7_5(benchmark):
+    rows = benchmark.pedantic(table_7_5, rounds=1, iterations=1)
+    emit("table_7_5", format_table_7_5(rows))
+    assert len(rows) == 11
+    total_trad = sum(row.traditional_ms for row in rows)
+    total_ajax = sum(row.ajax_ms for row in rows)
+    # AJAX query processing costs more in aggregate.
+    assert total_ajax > total_trad
+    # ...because it returns many more results.
+    assert sum(r.ajax_results for r in rows) > sum(r.traditional_results for r in rows)

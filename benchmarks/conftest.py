@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the thesis'
+evaluation (chapter 7).  Datasets are memoized inside
+``repro.experiments.datasets``, so the corpus is crawled once per
+process no matter how many benchmarks consume it.  Rendered outputs are
+printed and persisted under ``benchmarks/results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _announce_dataset_sizes():
+    from repro.experiments import datasets
+
+    print(
+        f"\n[repro] dataset sizes: full={datasets.FULL_VIDEOS} videos, "
+        f"query={datasets.QUERY_VIDEOS} videos, seed={datasets.DATASET_SEED}"
+    )
+    yield

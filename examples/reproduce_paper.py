@@ -1,0 +1,78 @@
+"""Regenerate the paper's whole evaluation chapter in one run.
+
+Runs every table/figure runner (at a reduced corpus size so the script
+finishes in ~1 minute) and writes a combined markdown report to
+``paper_report.md``.  For full-size runs use the benchmark suite:
+``pytest benchmarks/ --benchmark-only``.
+
+    python examples/reproduce_paper.py [report_path]
+"""
+
+import os
+import sys
+
+# Reduced sizes for the demo run (must be set before importing the
+# experiment modules, which read them at import time).
+os.environ.setdefault("REPRO_FULL_VIDEOS", "120")
+os.environ.setdefault("REPRO_QUERY_VIDEOS", "100")
+
+from repro.experiments import exp_caching, exp_crawl, exp_dataset, exp_parallel, exp_query, exp_threshold  # noqa: E402
+
+
+def main() -> None:
+    report_path = sys.argv[1] if len(sys.argv) > 1 else "paper_report.md"
+    sections: list[tuple[str, str]] = []
+
+    print("running dataset statistics (Table 7.1, Figures 7.1/7.2)...")
+    sections.append(("Table 7.1", exp_dataset.format_table_7_1(exp_dataset.table_7_1())))
+    sections.append(("Figure 7.1", exp_dataset.format_figure_7_1(exp_dataset.figure_7_1())))
+    sections.append((
+        "Figure 7.2",
+        exp_dataset.format_figure_7_2(exp_dataset.figure_7_2(subset_sizes=(20, 40, 80, 120))),
+    ))
+
+    print("running crawl-performance experiments (Table 7.2, Figures 7.3/7.4)...")
+    sections.append(("Table 7.2", exp_crawl.format_table_7_2(exp_crawl.table_7_2())))
+    sections.append(("Figure 7.3", exp_crawl.format_figure_7_3(exp_crawl.figure_7_3())))
+    sections.append(("Figure 7.4", exp_crawl.format_figure_7_4(exp_crawl.figure_7_4())))
+
+    print("running caching experiments (Figures 7.5-7.7)...")
+    points = exp_caching.caching_study(subset_sizes=(10, 20, 40, 60))
+    sections.append(("Figure 7.5", exp_caching.format_figure_7_5(points)))
+    sections.append(("Figure 7.6", exp_caching.format_figure_7_6(points)))
+    sections.append(("Figure 7.7", exp_caching.format_figure_7_7(points)))
+
+    print("running parallelization experiments (Table 7.3, Figure 7.8)...")
+    sections.append(("Table 7.3", exp_parallel.format_table_7_3(exp_parallel.table_7_3())))
+    sections.append(("Figure 7.8", exp_parallel.format_figure_7_8(exp_parallel.figure_7_8())))
+
+    print("running query experiments (Tables 7.4/7.5, Figure 7.9)...")
+    sections.append(("Table 7.4", exp_query.format_table_7_4(exp_query.table_7_4())))
+    timings = exp_query.table_7_5()
+    sections.append(("Table 7.5", exp_query.format_table_7_5(timings)))
+    sections.append(("Figure 7.9", exp_query.format_figure_7_9(timings)))
+
+    print("running threshold experiments (Figures 7.10/7.11)...")
+    threshold_points = exp_threshold.threshold_study()
+    sections.append(("Figure 7.10", exp_threshold.format_figure_7_10(threshold_points)))
+    sections.append(("Figure 7.11", exp_threshold.format_figure_7_11(threshold_points)))
+    crawl_k = exp_threshold.crawl_threshold(threshold_points, limit=0.4)
+    recall_k = exp_threshold.recall_threshold(threshold_points, target=0.7)
+
+    with open(report_path, "w", encoding="utf-8") as report:
+        report.write("# AJAX Crawl — evaluation reproduction report\n\n")
+        report.write(
+            f"Corpus: {os.environ['REPRO_FULL_VIDEOS']} videos "
+            f"(query experiments: {os.environ['REPRO_QUERY_VIDEOS']}).\n\n"
+        )
+        for title, body in sections:
+            report.write(f"## {title}\n\n```\n{body}\n```\n\n")
+        report.write("## Derived thresholds\n\n")
+        report.write(f"- crawl threshold at 0.4 relative throughput: **{crawl_k} states** (paper: ~5)\n")
+        report.write(f"- recall threshold at 0.7 of max gain: **{recall_k} states** (paper: ~4)\n")
+
+    print(f"\nwrote {report_path} ({len(sections)} sections)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` (or ``python setup.py develop``)
+perform a legacy editable install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

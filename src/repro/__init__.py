@@ -1,0 +1,74 @@
+"""repro — AJAX Crawl: making AJAX applications searchable.
+
+A full reproduction of the ICDE 2009 "AJAX Crawl" system (R. Matter,
+ETH Zürich): an event-driven crawler that explores the *states* of an
+AJAX application, a hot-node cache that eliminates duplicate server
+calls, a state-granular search engine, and the parallel crawl/index/
+query-shipping architecture — together with every substrate it needs
+(DOM, JavaScript interpreter, simulated network, synthetic YouTube).
+
+Quick taste::
+
+    from repro import AjaxCrawler, SearchEngine
+    from repro.sites import SiteConfig, SyntheticYouTube
+
+    site = SyntheticYouTube(SiteConfig(num_videos=20))
+    crawler = AjaxCrawler(site)
+    result = crawler.crawl(site.all_video_urls())
+    engine = SearchEngine.build(result.models)
+    for hit in engine.search("wow", limit=5):
+        print(hit.uri, hit.state_id, hit.score)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.browser import Browser, Page
+from repro.clock import CostModel, SimClock
+from repro.crawler import (
+    AjaxCrawler,
+    CrawlerConfig,
+    CrawlResult,
+    HotNodeCache,
+    TraditionalCrawler,
+)
+from repro.model import ApplicationModel, State, Transition
+from repro.parallel import (
+    MPAjaxCrawler,
+    Precrawler,
+    ShardedSearchEngine,
+    URLPartitioner,
+)
+from repro.search import (
+    InvertedFile,
+    RankingWeights,
+    ResultAggregator,
+    SearchEngine,
+    SearchResult,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Browser",
+    "Page",
+    "SimClock",
+    "CostModel",
+    "AjaxCrawler",
+    "TraditionalCrawler",
+    "CrawlerConfig",
+    "CrawlResult",
+    "HotNodeCache",
+    "ApplicationModel",
+    "State",
+    "Transition",
+    "Precrawler",
+    "URLPartitioner",
+    "MPAjaxCrawler",
+    "ShardedSearchEngine",
+    "InvertedFile",
+    "SearchEngine",
+    "SearchResult",
+    "RankingWeights",
+    "ResultAggregator",
+]

@@ -1,0 +1,34 @@
+"""Browser substrate: pages, host bindings and event dispatch.
+
+Ties the DOM, JavaScript and network substrates together into the
+headless browser the crawlers drive.
+"""
+
+from repro.browser.bindings import DocumentHost, ElementHost, WindowHost
+from repro.browser.browser import Browser
+from repro.browser.events import (
+    DEFAULT_EVENT_TYPES,
+    ElementLocator,
+    EventBinding,
+    enumerate_events,
+    locate,
+    onload_handler,
+)
+from repro.browser.page import JS_ACCOUNT, PARSE_ACCOUNT, Page, PageSnapshot
+
+__all__ = [
+    "Browser",
+    "Page",
+    "PageSnapshot",
+    "JS_ACCOUNT",
+    "PARSE_ACCOUNT",
+    "DocumentHost",
+    "ElementHost",
+    "WindowHost",
+    "DEFAULT_EVENT_TYPES",
+    "ElementLocator",
+    "EventBinding",
+    "enumerate_events",
+    "locate",
+    "onload_handler",
+]

@@ -1,0 +1,133 @@
+"""Event enumeration and addressing.
+
+Chapter 2 models an AJAX page as states connected by transitions, each
+triggered by a user event on a *source element*.  This module finds
+those events (``on*`` attributes in the DOM) and gives each a locator
+that survives DOM re-parsing, so a rolled-back page can re-resolve the
+same source element.
+
+Per section 3.2 ("Irrelevant events") only the most important event
+types are considered by default: click, double-click, mouse-over and
+mouse-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.dom import Document, Element
+
+#: Event attributes considered by default, most relevant first.
+DEFAULT_EVENT_TYPES = ("onclick", "ondblclick", "onmouseover", "onmousedown")
+
+#: The page-load event handled specially by the crawler (Algorithm 3.1.1).
+ONLOAD = "onload"
+
+
+@dataclass(frozen=True)
+class ElementLocator:
+    """Addresses an element by id when available, else by structural path.
+
+    The structural path is the sequence of child indexes from the root,
+    which stays valid across serialize/re-parse round trips (used after
+    the crawler rolls a page back to an earlier state).
+    """
+
+    element_id: Optional[str]
+    path: tuple[int, ...]
+
+    def resolve(self, document: Document) -> Optional[Element]:
+        """Find the addressed element in ``document`` (or ``None``)."""
+        if self.element_id is not None:
+            found = document.get_element_by_id(self.element_id)
+            if found is not None:
+                return found
+        node = document.root
+        for index in self.path:
+            children = [child for child in node.children if isinstance(child, Element)]
+            if index >= len(children):
+                return None
+            node = children[index]
+        return node if isinstance(node, Element) else None
+
+    def describe(self) -> str:
+        if self.element_id is not None:
+            return f"#{self.element_id}"
+        return "/" + "/".join(str(index) for index in self.path)
+
+
+def locate(element: Element, document: Document) -> ElementLocator:
+    """Build a locator for ``element`` within ``document``."""
+    path: list[int] = []
+    node = element
+    while node.parent is not None:
+        siblings = [child for child in node.parent.children if isinstance(child, Element)]
+        path.append(siblings.index(node))
+        node = node.parent
+    return ElementLocator(element_id=element.id, path=tuple(reversed(path)))
+
+
+@dataclass(frozen=True)
+class EventBinding:
+    """One invocable event: where it sits and what script it runs.
+
+    Corresponds to a table row of the thesis' event tables (Table 4.1):
+    the source element, the trigger type and the handler code.
+
+    ``input_value`` supports the forms extension (thesis future work):
+    when set, dispatching first writes the value into the source input
+    element, then runs the handler — simulating a user typing and
+    triggering ``onkeyup``/``onchange``.
+    """
+
+    locator: ElementLocator
+    event_type: str
+    handler: str
+    input_value: Optional[str] = None
+
+    @property
+    def key(self) -> tuple[str, str, str, Optional[str]]:
+        """Identity of the event for deduplication within one state."""
+        return (self.locator.describe(), self.event_type, self.handler, self.input_value)
+
+    def describe(self) -> str:
+        base = f"{self.event_type}@{self.locator.describe()}"
+        if self.input_value is not None:
+            return f"{base}[value={self.input_value!r}]"
+        return base
+
+
+def enumerate_events(
+    document: Document,
+    event_types: Iterable[str] = DEFAULT_EVENT_TYPES,
+) -> list[EventBinding]:
+    """All invocable events in ``document``, in document order.
+
+    The body ``onload`` is excluded: Algorithm 3.1.1 runs it once during
+    initialisation, not as a crawlable transition.
+    """
+    wanted = tuple(event_types)
+    bindings: list[EventBinding] = []
+    elements = [document.root] + list(document.root.iter_elements())
+    for element in elements:
+        for event_type in wanted:
+            handler = element.get_attribute(event_type)
+            if handler:
+                bindings.append(
+                    EventBinding(
+                        locator=locate(element, document),
+                        event_type=event_type,
+                        handler=handler,
+                    )
+                )
+    return bindings
+
+
+def onload_handler(document: Document) -> Optional[str]:
+    """The body's ``onload`` script, if any."""
+    body = document.body
+    if body is None:
+        return None
+    handler = body.get_attribute(ONLOAD)
+    return handler or None

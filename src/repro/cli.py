@@ -1,0 +1,220 @@
+"""Command-line driver for the AJAX Crawl pipeline.
+
+Chapter 8 of the thesis describes running each phase (Precrawler,
+URLPartitioner, MPAjaxCrawler, index building, query processing) from a
+shell or a small Swing GUI.  This module is the equivalent CLI::
+
+    repro-ajax precrawl  --site simtube:100:7 --out runs/pre --max-pages 100
+    repro-ajax partition --precrawl runs/pre --size 20 --out runs/crawl
+    repro-ajax crawl     --site simtube:100:7 --root runs/crawl
+    repro-ajax index     --root runs/crawl --out runs/index.json
+    repro-ajax search    --index runs/index.json --query "american idol"
+    repro-ajax stats     --root runs/crawl
+
+Sites are addressed by spec strings (the servers are simulated):
+``simtube[:videos[:seed]]`` or ``webmail``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.crawler import CrawlerConfig
+from repro.net.server import SimulatedServer
+from repro.parallel import (
+    Precrawler,
+    PrecrawlResult,
+    SimpleAjaxCrawler,
+    URLPartitioner,
+    load_models,
+)
+from repro.search import InvertedFile, SearchEngine
+from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
+
+
+def build_site(spec: str) -> SimulatedServer:
+    """Construct a simulated site from a spec string."""
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "simtube":
+        videos = int(parts[1]) if len(parts) > 1 else 100
+        seed = int(parts[2]) if len(parts) > 2 else 7
+        return SyntheticYouTube(SiteConfig(num_videos=videos, seed=seed))
+    if kind == "webmail":
+        return SyntheticWebmail()
+    raise SystemExit(f"unknown site spec {spec!r} (try simtube:100:7 or webmail)")
+
+
+def _default_start_url(site: SimulatedServer) -> str:
+    if isinstance(site, SyntheticYouTube):
+        return site.video_url(0)
+    if isinstance(site, SyntheticWebmail):
+        return site.inbox_url
+    raise SystemExit("--start-url is required for this site")
+
+
+# -- subcommands -----------------------------------------------------------------
+
+
+def cmd_precrawl(args: argparse.Namespace) -> int:
+    site = build_site(args.site)
+    start = args.start_url or _default_start_url(site)
+    precrawler = Precrawler(site, max_pages=args.max_pages)
+    result = precrawler.run(start)
+    result.save(args.out)
+    print(f"precrawled {len(result.urls)} pages from {start}")
+    print(f"link graph + PageRank written to {args.out}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    precrawl = PrecrawlResult.load(args.precrawl)
+    directories = URLPartitioner(args.size).write(precrawl.urls, args.out)
+    print(f"{len(precrawl.urls)} URLs -> {len(directories)} partitions of {args.size} under {args.out}")
+    return 0
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    site = build_site(args.site)
+    config = CrawlerConfig(
+        max_additional_states=args.max_states,
+        use_hot_node=not args.no_hotnode,
+    )
+    worker = SimpleAjaxCrawler(site, config, traditional=args.traditional)
+    total_pages = total_states = 0
+    total_ms = 0.0
+    for directory in URLPartitioner.list_partitions(args.root):
+        _, summary = worker.crawl_partition_dir(directory)
+        total_pages += summary.num_pages
+        total_states += summary.total_states
+        total_ms += summary.crawl_time_ms
+        print(
+            f"partition {summary.partition}: {summary.num_pages} pages, "
+            f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
+        )
+    mode = "traditional" if args.traditional else "AJAX"
+    print(f"{mode} crawl done: {total_pages} pages, {total_states} states, "
+          f"{total_ms / 1000:.1f}s virtual total")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    index = InvertedFile(max_state_index=args.max_state_index)
+    partitions = URLPartitioner.list_partitions(args.root)
+    models_seen = 0
+    for directory in partitions:
+        for model in load_models(directory):
+            index.add_model(model)
+            models_seen += 1
+    index.finalize()
+    index.save(args.out)
+    print(f"indexed {models_seen} page models / {index.num_states} states "
+          f"({index.vocabulary_size} terms) -> {args.out}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    index = InvertedFile.load(args.index)
+    pageranks = {}
+    if args.pagerank:
+        pageranks = json.loads(Path(args.pagerank).read_text(encoding="utf-8"))
+    engine = SearchEngine(index, pageranks=pageranks)
+    results = engine.search(args.query, limit=args.limit)
+    print(f"{len(results)} result(s) for {args.query!r}:")
+    for result in results:
+        print(f"  {result.score:8.4f}  {result.uri}  {result.state_id}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    for directory in URLPartitioner.list_partitions(args.root):
+        for model in load_models(directory):
+            if model.url == args.url:
+                print(model.to_dot())
+                return 0
+    print(f"no crawled model found for {args.url}", file=sys.stderr)
+    return 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    total_models = total_states = total_transitions = 0
+    for directory in URLPartitioner.list_partitions(args.root):
+        for model in load_models(directory):
+            total_models += 1
+            total_states += model.num_states
+            total_transitions += model.num_transitions
+    print(f"pages:       {total_models}")
+    print(f"states:      {total_states}")
+    print(f"transitions: {total_transitions}")
+    if total_models:
+        print(f"states/page: {total_states / total_models:.2f}")
+    return 0
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ajax",
+        description="AJAX Crawl pipeline: precrawl, partition, crawl, index, search.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    precrawl = sub.add_parser("precrawl", help="build hyperlink graph + PageRank")
+    precrawl.add_argument("--site", required=True, help="site spec, e.g. simtube:100:7")
+    precrawl.add_argument("--start-url", default=None)
+    precrawl.add_argument("--max-pages", type=int, default=100)
+    precrawl.add_argument("--out", required=True)
+    precrawl.set_defaults(fn=cmd_precrawl)
+
+    partition = sub.add_parser("partition", help="split the URL list into partitions")
+    partition.add_argument("--precrawl", required=True, help="precrawl output dir")
+    partition.add_argument("--size", type=int, default=20)
+    partition.add_argument("--out", required=True)
+    partition.set_defaults(fn=cmd_partition)
+
+    crawl = sub.add_parser("crawl", help="crawl all partitions under a root dir")
+    crawl.add_argument("--site", required=True)
+    crawl.add_argument("--root", required=True)
+    crawl.add_argument("--traditional", action="store_true")
+    crawl.add_argument("--no-hotnode", action="store_true")
+    crawl.add_argument("--max-states", type=int, default=10)
+    crawl.set_defaults(fn=cmd_crawl)
+
+    index = sub.add_parser("index", help="build an inverted file from crawled models")
+    index.add_argument("--root", required=True)
+    index.add_argument("--out", required=True)
+    index.add_argument("--max-state-index", type=int, default=None)
+    index.set_defaults(fn=cmd_index)
+
+    search = sub.add_parser("search", help="query a saved inverted file")
+    search.add_argument("--index", required=True)
+    search.add_argument("--query", required=True)
+    search.add_argument("--pagerank", default=None)
+    search.add_argument("--limit", type=int, default=10)
+    search.set_defaults(fn=cmd_search)
+
+    stats = sub.add_parser("stats", help="statistics over crawled models")
+    stats.add_argument("--root", required=True)
+    stats.set_defaults(fn=cmd_stats)
+
+    dot = sub.add_parser("dot", help="print one page's transition graph as DOT")
+    dot.add_argument("--root", required=True)
+    dot.add_argument("--url", required=True)
+    dot.set_defaults(fn=cmd_dot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Virtual time for deterministic performance experiments.
+
+The thesis measures crawl times on a live network.  We have no network, so
+every expensive operation (fetching a page, executing JavaScript,
+maintaining the application model) *charges* simulated milliseconds to a
+:class:`SimClock`.  The magnitudes are configurable through a
+:class:`CostModel`; the defaults are calibrated so that the headline
+numbers of chapter 7 (e.g. the x9.43 AJAX-over-traditional overhead of
+Table 7.2) land in the right regime.
+
+Using a virtual clock instead of ``time.sleep`` keeps the benchmark suite
+fast and makes every reported duration reproducible bit-for-bit under a
+fixed RNG seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class SimClock:
+    """A monotonically advancing virtual clock measured in milliseconds.
+
+    The clock can be shared by many components (server, crawler, model
+    maintenance); each calls :meth:`advance` with the cost of its work.
+    Named accounts make it possible to later split total time into
+    network time vs. processing time, which Figure 7.4 requires.
+    """
+
+    def __init__(self) -> None:
+        self._now_ms = 0.0
+        self._accounts: dict[str, float] = {}
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds since clock creation."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float, account: str = "other") -> None:
+        """Advance the clock by ``delta_ms``, booking the cost on ``account``."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by negative {delta_ms} ms")
+        self._now_ms += delta_ms
+        self._accounts[account] = self._accounts.get(account, 0.0) + delta_ms
+
+    def spent_on(self, account: str) -> float:
+        """Total milliseconds booked on ``account`` so far."""
+        return self._accounts.get(account, 0.0)
+
+    def accounts(self) -> dict[str, float]:
+        """A snapshot of all accounts and their accumulated costs."""
+        return dict(self._accounts)
+
+    def reset(self) -> None:
+        """Reset time to zero and clear every account."""
+        self._now_ms = 0.0
+        self._accounts.clear()
+
+
+@dataclass
+class CostModel:
+    """Costs (virtual milliseconds) charged for the operations the thesis
+    identifies as expensive.
+
+    The defaults approximate the hardware of section 7.1.2: page fetches
+    around 1-2 s, AJAX calls in the hundreds of milliseconds, JavaScript
+    interpretation and application-model maintenance clearly measurable
+    but an order of magnitude below the network.
+    """
+
+    #: Mean latency of fetching a full page over the network.
+    page_fetch_ms: float = 900.0
+    #: Mean latency of one AJAX (XMLHttpRequest) round trip.
+    ajax_call_ms: float = 450.0
+    #: Multiplicative jitter half-range for network latencies (0.2 = +-20%).
+    network_jitter: float = 0.2
+    #: Cost per kilobyte of transferred response body.
+    per_kb_ms: float = 4.0
+    #: Cost of parsing one kilobyte of HTML into a DOM tree.
+    html_parse_per_kb_ms: float = 6.0
+    #: Cost per executed JavaScript interpreter step.
+    js_step_ms: float = 0.02
+    #: Cost of hashing the DOM and diffing it against the model after an
+    #: event (charged once per invoked event).  The thesis identifies
+    #: maintaining/comparing the application model as the dominant
+    #: non-network cost of AJAX crawling (§7.2.3).
+    state_diff_ms: float = 500.0
+    #: Cost of inserting one state into the application model.
+    model_insert_ms: float = 800.0
+    #: Cost of adding one state's text to an inverted file (indexing
+    #: phase, §6.4).
+    index_state_ms: float = 25.0
+    #: Random source for jitter; seeded for reproducibility.
+    rng: random.Random = field(default_factory=lambda: random.Random(0x5EED))
+    #: Optional latency *shape* override (see :mod:`repro.net.latency`).
+    #: When set, it replaces the uniform jitter entirely.
+    latency_distribution: object = None
+
+    def network_latency_ms(self, kind: str, body_bytes: int) -> float:
+        """Latency for a network round trip of ``kind`` carrying ``body_bytes``.
+
+        ``kind`` is ``"page"`` for full page loads and ``"ajax"`` for
+        XMLHttpRequest round trips.
+        """
+        if kind == "page":
+            base = self.page_fetch_ms
+        elif kind == "ajax":
+            base = self.ajax_call_ms
+        else:
+            raise ValueError(f"unknown network request kind: {kind!r}")
+        if self.latency_distribution is not None:
+            factor = self.latency_distribution.sample()
+        else:
+            factor = 1.0 + self.rng.uniform(-self.network_jitter, self.network_jitter)
+        return base * factor + (body_bytes / 1024.0) * self.per_kb_ms
+
+    def html_parse_ms(self, html_bytes: int) -> float:
+        """Cost of parsing ``html_bytes`` of markup."""
+        return (html_bytes / 1024.0) * self.html_parse_per_kb_ms
+
+    def js_execution_ms(self, steps: int) -> float:
+        """Cost of ``steps`` interpreter steps."""
+        return steps * self.js_step_ms
+
+
+class Stopwatch:
+    """Measures an interval of virtual time on a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now_ms
+
+    def restart(self) -> None:
+        """Begin a new interval at the current virtual time."""
+        self._start = self._clock.now_ms
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Virtual milliseconds since construction or last :meth:`restart`."""
+        return self._clock.now_ms - self._start

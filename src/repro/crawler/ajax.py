@@ -1,0 +1,305 @@
+"""The breadth-first AJAX crawler (Algorithm 3.1.1 / 4.2.1).
+
+The crawler loads a page, runs the body ``onload`` (the AJAX-specific
+initialisation), then explores states breadth-first: for every known
+state it restores the page to that state, fires each user event, and —
+when the DOM changed — resolves the resulting DOM against the model by
+content hash.  New states join the frontier (until the state cap), every
+observed transition is recorded, and the page is rolled back after each
+event (``appModel.rollback(t)``).
+
+The hot-node optimisation of chapter 4 is orthogonal: when enabled, a
+:class:`~repro.crawler.hotnode.HotNodeCache` is plugged into the
+browser's ``XMLHttpRequest`` so repeated hot calls never reach the
+network.  The crawl logic is unchanged — exactly as in the thesis, where
+Algorithm 4.2.1 differs from 3.1.1 only in how functions are invoked.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.browser import Browser, JS_ACCOUNT, PARSE_ACCOUNT, Page
+from repro.browser.events import EventBinding
+from repro.clock import CostModel, SimClock, Stopwatch
+from repro.crawler.base import Crawler, PageCrawlResult
+from repro.crawler.config import CrawlerConfig, DEFAULT_CONFIG
+from repro.crawler.hotnode import HotNodeCache
+from repro.crawler.metrics import PageMetrics
+from repro.errors import BrowserError
+from repro.model import ApplicationModel, EventAnnotation, State
+from repro.net import NETWORK_ACCOUNT
+from repro.net.server import SimulatedServer
+
+
+class AjaxCrawler(Crawler):
+    """Crawls the AJAX states of pages on a simulated server."""
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        config: CrawlerConfig = DEFAULT_CONFIG,
+        clock: Optional[SimClock] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config
+        self.hot_cache = HotNodeCache(enabled=config.use_hot_node)
+        self.browser = Browser(
+            server,
+            clock=clock,
+            cost_model=cost_model,
+            javascript_enabled=True,
+            hot_policy=self.hot_cache if config.use_hot_node else None,
+            max_js_steps=config.max_js_steps,
+        )
+        self._unique_counter = 0
+        #: Per-origin granularity hints (None = no hint published).
+        self._hint_cache: dict[str, Optional[int]] = {}
+
+    @property
+    def clock(self) -> SimClock:
+        return self.browser.clock
+
+    @property
+    def stats(self):
+        return self.browser.stats
+
+    # -- crawling one page ----------------------------------------------------------
+
+    def crawl_page(self, url: str) -> PageCrawlResult:
+        """Build the application model of one AJAX page."""
+        watch = Stopwatch(self.clock)
+        counters_before = self._snapshot_counters()
+        max_states = self._effective_max_states(url)
+
+        page = self.browser.load(url, run_scripts=True, run_onload=False)
+        page.run_onload()  # Algorithm 3.1.1 line 3 (AJAX specific)
+
+        model = ApplicationModel(url)
+        metrics = PageMetrics(url=url)
+        initial, _ = self._add_state(model, page, depth=0)
+        snapshots = {initial.state_id: page.snapshot()}
+
+        frontier: deque[str] = deque([initial.state_id])
+        visited: set[str] = {initial.state_id}
+        events_invoked = 0
+
+        while frontier:
+            state_id = self._select_next(frontier, model)
+            state = model.get_state(state_id)
+            base_snapshot = snapshots[state_id]
+            page.restore(base_snapshot)
+            for binding in self._enumerate_events(page):
+                if events_invoked >= self.config.max_event_invocations:
+                    frontier.clear()
+                    break
+                if self._is_update_event(binding):
+                    # §4.3 "No update events": never fire destructive
+                    # handlers (Delete buttons, logout links, ...).
+                    metrics.update_events_skipped += 1
+                    continue
+                if self._should_skip_event(state, binding):
+                    metrics.events_skipped_from_history += 1
+                    continue
+                events_invoked += 1
+                changed = self._dispatch(page, binding)
+                self._record_event_outcome(state, binding, changed)
+                # Hash the DOM and compare against the model (§3.2): the
+                # expensive part of maintaining the application model.
+                self.clock.advance(
+                    self.browser.cost_model.state_diff_ms, account="model"
+                )
+                if changed:
+                    new_state, created = self._resolve_state(
+                        model, page, depth=state.depth + 1, max_states=max_states
+                    )
+                    if new_state is None:
+                        # State cap reached (section 4.3 "State explosion"):
+                        # the target is discarded, no transition recorded.
+                        page.restore(base_snapshot)
+                        continue
+                    if not created:
+                        metrics.duplicates_detected += 1
+                    model.add_transition(
+                        state,
+                        new_state,
+                        EventAnnotation(
+                            source=binding.locator.describe(),
+                            trigger=binding.event_type,
+                            handler=binding.handler,
+                            input_value=binding.input_value,
+                        ),
+                        modified=("recent_comments",),
+                    )
+                    if (
+                        created
+                        and new_state.state_id not in visited
+                        and self._should_expand_state(new_state)
+                    ):
+                        visited.add(new_state.state_id)
+                        frontier.append(new_state.state_id)
+                        snapshots[new_state.state_id] = page.snapshot()
+                # Rollback: continue from the state under exploration.
+                page.restore(base_snapshot)
+
+        model.compute_depths()
+        self._fill_metrics(metrics, model, events_invoked, watch, counters_before)
+        return PageCrawlResult(model=model, metrics=metrics)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _dispatch(self, page: Page, binding: EventBinding) -> bool:
+        try:
+            return page.dispatch(binding)
+        except BrowserError:
+            # The event's source vanished (stale locator); skip it.
+            return False
+
+    def _state_hash(self, page: Page) -> str:
+        if self.config.state_identity == "text":
+            from repro.dom import text_hash
+
+            return text_hash(page.document)
+        return page.content_hash()
+
+    def _add_state(
+        self, model: ApplicationModel, page: Page, depth: int
+    ) -> tuple[State, bool]:
+        content_hash = self._state_hash(page)
+        if not self.config.deduplicate_states:
+            # Ablation mode: force a unique identity per DOM observation.
+            self._unique_counter += 1
+            content_hash = f"{content_hash}:{self._unique_counter}"
+        html = None
+        if self.config.store_html:
+            from repro.dom import serialize
+
+            html = serialize(page.document)
+        return model.add_state(content_hash, page.text, html=html, depth=depth)
+
+    def _resolve_state(
+        self, model: ApplicationModel, page: Page, depth: int, max_states: int
+    ) -> tuple[Optional[State], bool]:
+        """Resolve the page's current DOM against the model, respecting
+        the per-page state cap: a genuinely new state beyond the cap is
+        not admitted and ``(None, False)`` is returned."""
+        content_hash = self._state_hash(page)
+        if (
+            self.config.deduplicate_states
+            and not model.contains_hash(content_hash)
+            and model.num_states >= max_states
+        ):
+            return None, False
+        if not self.config.deduplicate_states and model.num_states >= max_states:
+            return None, False
+        return self._add_state(model, page, depth)
+
+    def _enumerate_events(self, page: Page) -> list[EventBinding]:
+        """Hook for subclasses: which events to fire in the current state.
+
+        The base crawler uses the configured DOM event attributes; the
+        form-filling crawler extends the list with value-carrying
+        bindings for text inputs.
+        """
+        return page.events(self.config.event_types)
+
+    def _select_next(self, frontier: deque, model: ApplicationModel) -> str:
+        """Hook for subclasses: pick the next frontier state to explore.
+
+        The base crawler is breadth-first (FIFO); the focused crawler
+        overrides this with best-first selection.
+        """
+        return frontier.popleft()
+
+    def _should_expand_state(self, state: State) -> bool:
+        """Hook for subclasses: decide whether a newly discovered state's
+        own events should be explored.  The base crawler expands all."""
+        return True
+
+    def _should_skip_event(self, state: State, binding: EventBinding) -> bool:
+        """Hook for subclasses: skip this event without firing it.
+
+        The base crawler never skips; the incremental recrawler
+        (:mod:`repro.crawler.incremental`) skips events a previous
+        session proved to be no-ops.
+        """
+        return False
+
+    def _record_event_outcome(self, state: State, binding: EventBinding, changed: bool) -> None:
+        """Hook for subclasses: observe one fired event's outcome."""
+
+    def _is_update_event(self, binding: EventBinding) -> bool:
+        handler = binding.handler.lower()
+        return any(pattern in handler for pattern in self.config.update_event_patterns)
+
+    def _effective_max_states(self, url: str) -> int:
+        """The per-page state cap, lowered by the site's granularity hint
+        (``/ajax-robots.json``) when one is published and honoured."""
+        if not self.config.respect_granularity_hints:
+            return self.config.max_states
+        hint = self._granularity_hint_for(url)
+        if hint is None:
+            return self.config.max_states
+        return min(self.config.max_states, max(1, hint))
+
+    def _granularity_hint_for(self, url: str) -> Optional[int]:
+        from urllib.parse import urlsplit, urlunsplit
+
+        parts = urlsplit(url)
+        origin = urlunsplit((parts.scheme, parts.netloc, "", "", ""))
+        if origin in self._hint_cache:
+            return self._hint_cache[origin]
+        # Out-of-band metadata fetch: goes straight to the server so it
+        # does not pollute the AJAX-call counters of the experiments.
+        from repro.net.http import Request
+
+        hint: Optional[int] = None
+        response = self.browser.gateway.server.handle(
+            Request("GET", origin + "/ajax-robots.json")
+        )
+        if response.ok:
+            import json
+
+            try:
+                payload = json.loads(response.body)
+                value = payload.get("max_states")
+                if isinstance(value, (int, float)) and value > 0:
+                    hint = int(value)
+            except (ValueError, AttributeError):
+                hint = None
+        self._hint_cache[origin] = hint
+        return hint
+
+    def _snapshot_counters(self) -> dict[str, float]:
+        stats = self.browser.stats
+        clock = self.clock
+        return {
+            "ajax_calls": stats.ajax_calls,
+            "cached_hits": stats.cached_hits,
+            "network_ms": clock.spent_on(NETWORK_ACCOUNT),
+            "js_ms": clock.spent_on(JS_ACCOUNT),
+            "parse_ms": clock.spent_on(PARSE_ACCOUNT),
+        }
+
+    def _fill_metrics(
+        self,
+        metrics: PageMetrics,
+        model: ApplicationModel,
+        events_invoked: int,
+        watch: Stopwatch,
+        before: dict[str, float],
+    ) -> None:
+        # Charge the model-maintenance cost for each state kept.
+        maintenance = model.num_states * self.browser.cost_model.model_insert_ms
+        self.clock.advance(maintenance, account="model")
+        stats = self.browser.stats
+        clock = self.clock
+        metrics.crawl_time_ms = watch.elapsed_ms
+        metrics.network_time_ms = clock.spent_on(NETWORK_ACCOUNT) - before["network_ms"]
+        metrics.js_time_ms = clock.spent_on(JS_ACCOUNT) - before["js_ms"]
+        metrics.parse_time_ms = clock.spent_on(PARSE_ACCOUNT) - before["parse_ms"]
+        metrics.states = model.num_states
+        metrics.events_invoked = events_invoked
+        metrics.ajax_calls = int(stats.ajax_calls - before["ajax_calls"])
+        metrics.cached_hits = int(stats.cached_hits - before["cached_hits"])

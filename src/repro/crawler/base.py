@@ -1,0 +1,62 @@
+"""Shared result types and the crawler interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crawler.metrics import CrawlReport, PageMetrics
+from repro.errors import ReproError
+from repro.model import ApplicationModel
+
+
+@dataclass
+class PageCrawlResult:
+    """Everything produced by crawling one page."""
+
+    model: ApplicationModel
+    metrics: PageMetrics
+
+
+@dataclass
+class CrawlResult:
+    """Everything produced by crawling a list of URLs."""
+
+    models: list[ApplicationModel] = field(default_factory=list)
+    report: CrawlReport = field(default_factory=CrawlReport)
+    #: URLs whose crawl failed (dead links, server errors) when the
+    #: crawler runs in fault-tolerant mode.
+    failed_urls: list[str] = field(default_factory=list)
+
+    def add(self, page_result: PageCrawlResult) -> None:
+        self.models.append(page_result.model)
+        self.report.add(page_result.metrics)
+
+    def merge(self, other: "CrawlResult") -> None:
+        self.models.extend(other.models)
+        self.report.merge(other.report)
+        self.failed_urls.extend(other.failed_urls)
+
+
+class Crawler:
+    """Interface: crawl one page or a list of pages."""
+
+    def crawl_page(self, url: str) -> PageCrawlResult:
+        raise NotImplementedError
+
+    def crawl(self, urls: list[str], fail_fast: bool = False) -> CrawlResult:
+        """Crawl every URL, collecting models and metrics.
+
+        By default a page that fails (404, server error, broken script
+        environment) is recorded in ``failed_urls`` and the crawl moves
+        on — a production crawler must survive dead links.  With
+        ``fail_fast=True`` the first failure propagates.
+        """
+        result = CrawlResult()
+        for url in urls:
+            try:
+                result.add(self.crawl_page(url))
+            except ReproError:
+                if fail_fast:
+                    raise
+                result.failed_urls.append(url)
+        return result

@@ -1,0 +1,66 @@
+"""Crawler configuration.
+
+Mirrors the ``AJAXConfig`` knobs of chapter 8 that matter for the
+algorithms: the additional-state cap (``SACR_NUM_OF_ADDITIONAL_STATES``),
+the hot-node switch (``USE_DEBUGGER``), traditional-mode
+(``TRADITIONAL_CRAWLING``) and the guards of section 3.2 against state
+explosion and infinite event invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.events import DEFAULT_EVENT_TYPES
+
+
+@dataclass(frozen=True)
+class CrawlerConfig:
+    """Knobs shared by the crawling algorithms."""
+
+    #: Maximum number of additional states per page, not counting the
+    #: initial one (the thesis used 10 for YouTube10000).
+    max_additional_states: int = 10
+    #: Hard cap on event invocations per page: the guard against
+    #: infinite event invocation (§3.2).
+    max_event_invocations: int = 500
+    #: Event attributes invoked by the crawler (§3.2 "Irrelevant events").
+    event_types: tuple[str, ...] = tuple(DEFAULT_EVENT_TYPES)
+    #: Whether the hot-node policy (chapter 4) is active.
+    use_hot_node: bool = True
+    #: Keep the serialized DOM of every state in the model (needed for
+    #: offline state reconstruction; costs memory).
+    store_html: bool = False
+    #: Interpreter step budget per page (infinite-loop guard, §3.2).
+    max_js_steps: int = 2_000_000
+    #: When False, hash-based duplicate elimination is disabled — every
+    #: DOM change becomes a new state (ablation for DESIGN.md §5.1).
+    deduplicate_states: bool = True
+    #: Handler substrings marking *update events* the crawler must never
+    #: fire (§4.3 "No update events": deleting mails from a crawled
+    #: inbox).  Matching is case-insensitive on the handler source.
+    update_event_patterns: tuple[str, ...] = (
+        "delete",
+        "remove",
+        "destroy",
+        "logout",
+        "submitform",
+    )
+    #: Honour per-site crawl-granularity hints (§4.3 predicts AJAX sites
+    #: will publish a robots.txt-style file; ours is /ajax-robots.json
+    #: with a ``max_states`` field).  The hint can only *lower* the cap.
+    respect_granularity_hints: bool = True
+    #: State identity function (§3.2 / related work on near-duplicates):
+    #: "dom" hashes the canonical DOM serialization (exact identity);
+    #: "text" hashes whitespace-normalized visible text, so states that
+    #: differ only in markup (counters, styling attributes) collapse.
+    state_identity: str = "dom"
+
+    @property
+    def max_states(self) -> int:
+        """Total state cap per page (initial + additional)."""
+        return self.max_additional_states + 1
+
+
+#: Convenience default used across tests/benchmarks.
+DEFAULT_CONFIG = CrawlerConfig()

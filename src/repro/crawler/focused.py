@@ -1,0 +1,87 @@
+"""Focused AJAX crawling — chapter 10 future work / §7.2.2.
+
+"Another option is that of a focused AJAX crawling, which just performs
+crawling on content relevant to a more narrow range of users, which is
+both useful and restricts the number of AJAX states."
+
+The :class:`FocusedAjaxCrawler` carries an *interest profile* (a bag of
+keywords).  It differs from the breadth-first base crawler in two ways:
+
+* **best-first frontier** — the most relevant known state is explored
+  next (relevance = profile-term overlap of the state's text);
+* **expansion gate** — states below ``min_relevance`` are still indexed
+  when reached (they cost nothing extra), but their own events are not
+  fired, pruning whole subtrees of irrelevant states.
+
+The per-page state cap of the base configuration still applies, so a
+focused crawl spends its state budget on the most relevant content.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.crawler.ajax import AjaxCrawler
+from repro.crawler.config import CrawlerConfig, DEFAULT_CONFIG
+from repro.clock import CostModel, SimClock
+from repro.model import ApplicationModel, State
+from repro.net.server import SimulatedServer
+from repro.search.tokenizer import tokenize
+
+
+class InterestProfile:
+    """A user's (or group's) interest: weighted keywords."""
+
+    def __init__(self, terms: Iterable[str]) -> None:
+        self.terms = frozenset(
+            token for term in terms for token in tokenize(term)
+        )
+        if not self.terms:
+            raise ValueError("an interest profile needs at least one term")
+
+    def relevance(self, text: str) -> float:
+        """Profile-term hits in ``text``, normalized by profile size."""
+        if not text:
+            return 0.0
+        tokens = set(tokenize(text))
+        return len(self.terms & tokens) / len(self.terms)
+
+    def __repr__(self) -> str:
+        return f"InterestProfile({sorted(self.terms)})"
+
+
+class FocusedAjaxCrawler(AjaxCrawler):
+    """Best-first AJAX crawler guided by an interest profile."""
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        profile: InterestProfile,
+        config: CrawlerConfig = DEFAULT_CONFIG,
+        min_relevance: float = 0.0,
+        clock: Optional[SimClock] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        super().__init__(server, config, clock=clock, cost_model=cost_model)
+        self.profile = profile
+        #: States with relevance strictly greater than this are expanded.
+        self.min_relevance = min_relevance
+
+    def _select_next(self, frontier: deque, model: ApplicationModel) -> str:
+        best_index = 0
+        best_relevance = -1.0
+        for index, state_id in enumerate(frontier):
+            relevance = self.profile.relevance(model.get_state(state_id).text)
+            if relevance > best_relevance:
+                best_relevance = relevance
+                best_index = index
+        frontier.rotate(-best_index)
+        return frontier.popleft()
+
+    def _should_expand_state(self, state: State) -> bool:
+        # The initial state (depth 0) is always expanded; deeper states
+        # must earn their exploration budget.
+        if state.depth == 0:
+            return True
+        return self.profile.relevance(state.text) > self.min_relevance

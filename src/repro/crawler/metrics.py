@@ -1,0 +1,122 @@
+"""Crawl measurements.
+
+Chapter 7 reports per-page crawl times, network-time splits, state and
+event counts, and dataset-level aggregates.  :class:`PageMetrics` is the
+per-page record; :class:`CrawlReport` aggregates a whole crawl and
+exposes exactly the quantities the tables/figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PageMetrics:
+    """Measurements of crawling one page (one video)."""
+
+    url: str
+    #: Total virtual milliseconds spent on this page.
+    crawl_time_ms: float = 0.0
+    #: Portion of the total spent waiting on the network.
+    network_time_ms: float = 0.0
+    #: Portion spent executing JavaScript.
+    js_time_ms: float = 0.0
+    #: Portion spent parsing HTML / restoring DOM snapshots.
+    parse_time_ms: float = 0.0
+    #: States in the final application model.
+    states: int = 0
+    #: Events invoked while crawling the page.
+    events_invoked: int = 0
+    #: AJAX calls that reached the network.
+    ajax_calls: int = 0
+    #: AJAX calls served from the hot-node cache.
+    cached_hits: int = 0
+    #: Duplicate states detected by hashing.
+    duplicates_detected: int = 0
+    #: Destructive (update) events found but deliberately not fired (§4.3).
+    update_events_skipped: int = 0
+    #: Events skipped because a previous session proved them no-ops
+    #: (incremental recrawling, ch. 10 future work).
+    events_skipped_from_history: int = 0
+
+    @property
+    def processing_time_ms(self) -> float:
+        """Crawl time minus network time (the lower curve of Fig. 7.4)."""
+        return self.crawl_time_ms - self.network_time_ms
+
+    @property
+    def time_per_state_ms(self) -> float:
+        return self.crawl_time_ms / self.states if self.states else 0.0
+
+
+@dataclass
+class CrawlReport:
+    """Aggregate of a whole crawl (one crawler over a URL list)."""
+
+    pages: list[PageMetrics] = field(default_factory=list)
+
+    def add(self, metrics: PageMetrics) -> None:
+        self.pages.append(metrics)
+
+    # -- totals -----------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def total_states(self) -> int:
+        return sum(page.states for page in self.pages)
+
+    @property
+    def total_events(self) -> int:
+        return sum(page.events_invoked for page in self.pages)
+
+    @property
+    def total_ajax_calls(self) -> int:
+        return sum(page.ajax_calls for page in self.pages)
+
+    @property
+    def total_cached_hits(self) -> int:
+        return sum(page.cached_hits for page in self.pages)
+
+    @property
+    def total_time_ms(self) -> float:
+        return sum(page.crawl_time_ms for page in self.pages)
+
+    @property
+    def total_network_time_ms(self) -> float:
+        return sum(page.network_time_ms for page in self.pages)
+
+    # -- means ------------------------------------------------------------------
+
+    @property
+    def mean_time_per_page_ms(self) -> float:
+        return self.total_time_ms / self.num_pages if self.pages else 0.0
+
+    @property
+    def mean_time_per_state_ms(self) -> float:
+        states = self.total_states
+        return self.total_time_ms / states if states else 0.0
+
+    @property
+    def mean_events_per_page(self) -> float:
+        return self.total_events / self.num_pages if self.pages else 0.0
+
+    # -- throughput ---------------------------------------------------------------
+
+    @property
+    def states_per_second(self) -> float:
+        """State throughput (Figure 7.7)."""
+        seconds = self.total_time_ms / 1000.0
+        return self.total_states / seconds if seconds > 0 else 0.0
+
+    @property
+    def pages_per_second(self) -> float:
+        seconds = self.total_time_ms / 1000.0
+        return self.num_pages / seconds if seconds > 0 else 0.0
+
+    def merge(self, other: "CrawlReport") -> None:
+        """Fold another report into this one (parallel partitions)."""
+        self.pages.extend(other.pages)

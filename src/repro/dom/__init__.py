@@ -1,0 +1,37 @@
+"""DOM substrate: tree model, HTML parser, serializer and state hashing.
+
+This package replaces the COBRA HTML toolkit the thesis used: it supplies
+exactly the DOM operations the AJAX crawler and the browser substrate
+need (parse, mutate via ``innerHTML``, enumerate events, hash states).
+"""
+
+from repro.dom.node import (
+    Document,
+    Element,
+    Node,
+    RAW_TEXT_ELEMENTS,
+    Text,
+    VOID_ELEMENTS,
+)
+from repro.dom.parser import HtmlParser, parse_document, parse_fragment, unescape
+from repro.dom.serialize import escape_attribute, escape_text, inner_html, serialize
+from repro.dom.hashing import state_hash, text_hash
+
+__all__ = [
+    "Document",
+    "Element",
+    "Node",
+    "Text",
+    "RAW_TEXT_ELEMENTS",
+    "VOID_ELEMENTS",
+    "HtmlParser",
+    "parse_document",
+    "parse_fragment",
+    "unescape",
+    "serialize",
+    "inner_html",
+    "escape_text",
+    "escape_attribute",
+    "state_hash",
+    "text_hash",
+]

@@ -1,0 +1,69 @@
+"""Content hashing for duplicate-state detection.
+
+Section 3.2: "Currently, we compute a hash of the content of the state.
+Two states with the same hash value will be considered the same."
+
+We hash the canonical serialization of the document (attributes in sorted
+order, entities normalized), optionally excluding subtrees whose content
+is noise for state identity (e.g. tracking pixels).  The hash is the sole
+state-identity mechanism of the crawler, because every AJAX state shares
+one URL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional
+
+from repro.dom.node import Document, Element, Node, Text
+from repro.dom.serialize import escape_attribute, escape_text
+
+
+def state_hash(
+    node: Node | Document,
+    exclude: Optional[Callable[[Element], bool]] = None,
+) -> str:
+    """A hex SHA-256 of the canonical content of ``node``.
+
+    ``exclude`` may mark element subtrees to skip (returns ``True`` to
+    drop that element and everything below it from the digest).
+    """
+    digest = hashlib.sha256()
+    root = node.root if isinstance(node, Document) else node
+    _feed(root, digest, exclude)
+    return digest.hexdigest()
+
+
+def _feed(
+    node: Node,
+    digest: "hashlib._Hash",
+    exclude: Optional[Callable[[Element], bool]],
+) -> None:
+    if isinstance(node, Text):
+        digest.update(escape_text(node.data).encode("utf-8"))
+        return
+    if not isinstance(node, Element):
+        return
+    if exclude is not None and exclude(node):
+        return
+    digest.update(b"<")
+    digest.update(node.tag.encode("utf-8"))
+    for name in sorted(node.attrs):
+        digest.update(f' {name}="{escape_attribute(node.attrs[name])}"'.encode("utf-8"))
+    digest.update(b">")
+    for child in node.children:
+        _feed(child, digest, exclude)
+    digest.update(f"</{node.tag}>".encode("utf-8"))
+
+
+def text_hash(node: Node | Document) -> str:
+    """A hex SHA-256 of just the visible text (a looser identity)."""
+    root = node.root if isinstance(node, Document) else node
+    if isinstance(root, Element):
+        text = root.text_content
+    elif isinstance(root, Text):
+        text = root.data
+    else:
+        text = ""
+    normalized = " ".join(text.split())
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()

@@ -1,0 +1,13 @@
+"""Experiment runners for every table and figure of chapter 7.
+
+Each ``exp_*`` module computes one experiment's structured data and can
+render it in the corresponding table/figure layout.  The ``benchmarks/``
+directory wires these runners into pytest-benchmark targets; measured
+outputs land in ``benchmarks/results/`` and are summarized in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments import datasets
+from repro.experiments.harness import emit, format_table, save_result
+
+__all__ = ["datasets", "emit", "format_table", "save_result"]

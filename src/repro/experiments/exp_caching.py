@@ -1,0 +1,118 @@
+"""Effects-of-caching experiments: Figures 7.5, 7.6 and 7.7 (§7.3).
+
+For each subset size, the site is crawled twice with fresh crawlers —
+once with the hot-node policy, once without — and the network calls,
+network time and state throughput are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import datasets
+from repro.experiments.harness import format_table
+
+
+@dataclass(frozen=True)
+class CachingPoint:
+    """One subset size of the §7.3 study, both crawler flavours."""
+
+    videos: int
+    #: Events that resulted in an actual network call.
+    calls_with_cache: int
+    calls_without_cache: int
+    #: Virtual network time (ms).
+    network_ms_with_cache: float
+    network_ms_without_cache: float
+    #: State throughput (states per virtual second).
+    throughput_with_cache: float
+    throughput_without_cache: float
+
+    @property
+    def call_reduction_factor(self) -> float:
+        """~5x on YouTube (Figure 7.5)."""
+        if self.calls_with_cache == 0:
+            return 0.0
+        return self.calls_without_cache / self.calls_with_cache
+
+    @property
+    def network_time_ratio(self) -> float:
+        """cached/uncached network time, ~0.37 in the thesis (Fig. 7.6)."""
+        if self.network_ms_without_cache == 0:
+            return 0.0
+        return self.network_ms_with_cache / self.network_ms_without_cache
+
+    @property
+    def throughput_gain(self) -> float:
+        """cached/uncached state throughput, ~1.6 in the thesis (Fig. 7.7)."""
+        if self.throughput_without_cache == 0:
+            return 0.0
+        return self.throughput_with_cache / self.throughput_without_cache
+
+
+def caching_study(
+    subset_sizes: tuple[int, ...] = datasets.CACHING_SUBSETS,
+) -> list[CachingPoint]:
+    """Run the §7.3 study over the given subset sizes."""
+    points = []
+    for size in subset_sizes:
+        cached = datasets.crawl_ajax(size, use_hot_node=True).report
+        plain = datasets.crawl_ajax(size, use_hot_node=False).report
+        points.append(
+            CachingPoint(
+                videos=size,
+                calls_with_cache=cached.total_ajax_calls,
+                calls_without_cache=plain.total_ajax_calls,
+                network_ms_with_cache=cached.total_network_time_ms,
+                network_ms_without_cache=plain.total_network_time_ms,
+                throughput_with_cache=cached.states_per_second,
+                throughput_without_cache=plain.states_per_second,
+            )
+        )
+    return points
+
+
+def format_figure_7_5(points: list[CachingPoint]) -> str:
+    rows = [
+        (p.videos, p.calls_without_cache, p.calls_with_cache, f"x{p.call_reduction_factor:.1f}")
+        for p in points
+    ]
+    return format_table(
+        ["Videos", "Calls (no cache)", "Calls (cache)", "Reduction"],
+        rows,
+        title="Figure 7.5: AJAX events resulting in network calls, with/without caching",
+    )
+
+
+def format_figure_7_6(points: list[CachingPoint]) -> str:
+    rows = [
+        (
+            p.videos,
+            p.network_ms_without_cache,
+            p.network_ms_with_cache,
+            f"{p.network_time_ratio:.2f}",
+        )
+        for p in points
+    ]
+    return format_table(
+        ["Videos", "Network ms (no cache)", "Network ms (cache)", "Ratio"],
+        rows,
+        title="Figure 7.6: Network time with and without the hot-node policy",
+    )
+
+
+def format_figure_7_7(points: list[CachingPoint]) -> str:
+    rows = [
+        (
+            p.videos,
+            f"{p.throughput_without_cache:.3f}",
+            f"{p.throughput_with_cache:.3f}",
+            f"x{p.throughput_gain:.2f}",
+        )
+        for p in points
+    ]
+    return format_table(
+        ["Videos", "States/s (no cache)", "States/s (cache)", "Gain"],
+        rows,
+        title="Figure 7.7: State throughput with and without the hot-node policy",
+    )

@@ -1,0 +1,152 @@
+"""Crawling-performance experiments: Table 7.2, Figure 7.3, Figure 7.4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import datasets
+from repro.experiments.harness import format_table
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One row of Table 7.2 / 7.3: a time and its AJAX/traditional ratio."""
+
+    label: str
+    traditional_ms: float
+    ajax_ms: float
+
+    @property
+    def ratio(self) -> float:
+        return self.ajax_ms / self.traditional_ms if self.traditional_ms else 0.0
+
+
+@dataclass(frozen=True)
+class CrawlOverhead:
+    """Table 7.2: total, per-page and per-state crawl times."""
+
+    total: OverheadRow
+    per_page: OverheadRow
+    per_state: OverheadRow
+
+
+def table_7_2(num_videos: int = datasets.FULL_VIDEOS) -> CrawlOverhead:
+    trad = datasets.crawl_traditional(num_videos).report
+    ajax = datasets.crawl_ajax(num_videos).report
+    return CrawlOverhead(
+        total=OverheadRow("Total time", trad.total_time_ms, ajax.total_time_ms),
+        per_page=OverheadRow(
+            "Mean per page", trad.mean_time_per_page_ms, ajax.mean_time_per_page_ms
+        ),
+        per_state=OverheadRow(
+            "Mean per state", trad.mean_time_per_state_ms, ajax.mean_time_per_state_ms
+        ),
+    )
+
+
+def format_table_7_2(overhead: CrawlOverhead) -> str:
+    rows = [
+        (row.label, row.traditional_ms, row.ajax_ms, f"x{row.ratio:.2f}")
+        for row in (overhead.total, overhead.per_page, overhead.per_state)
+    ]
+    return format_table(
+        ["", "Trad. (ms)", "AJAX (ms)", "AJAX/Trad"],
+        rows,
+        title="Table 7.2: Crawling times and overhead of AJAX crawling",
+    )
+
+
+#: The crawl-time buckets of Figure 7.3 (seconds).
+TIME_BUCKETS = ((0, 2), (2, 5), (5, 10), (10, 20), (20, 30), (30, float("inf")))
+
+
+def figure_7_3(num_videos: int = datasets.FULL_VIDEOS) -> dict[str, int]:
+    """Histogram of pages per crawling-time range."""
+    crawled = datasets.crawl_ajax(num_videos)
+    histogram = {_bucket_label(low, high): 0 for low, high in TIME_BUCKETS}
+    for page in crawled.report.pages:
+        seconds = page.crawl_time_ms / 1000.0
+        for low, high in TIME_BUCKETS:
+            if low <= seconds < high:
+                histogram[_bucket_label(low, high)] += 1
+                break
+    return histogram
+
+
+def _bucket_label(low: float, high: float) -> str:
+    if high == float("inf"):
+        return f">{low:g}s"
+    return f"{low:g}-{high:g}s"
+
+
+def format_figure_7_3(histogram: dict[str, int]) -> str:
+    total = sum(histogram.values())
+    rows = [
+        (bucket, count, f"{count / total:.1%}" if total else "0%")
+        for bucket, count in histogram.items()
+    ]
+    return format_table(
+        ["Crawl time", "Pages", "Share"],
+        rows,
+        title="Figure 7.3: Distribution of per-page crawling times",
+    )
+
+
+@dataclass(frozen=True)
+class StateTimePoint:
+    """One x-position of Figure 7.4: mean times for a given state count."""
+
+    states: int
+    pages: int
+    mean_crawl_time_ms: float
+    mean_processing_time_ms: float  # crawl time minus network time
+
+
+def figure_7_4(num_videos: int = datasets.FULL_VIDEOS) -> list[StateTimePoint]:
+    """Crawling time per video vs number of crawled states (± network)."""
+    crawled = datasets.crawl_ajax(num_videos)
+    by_states: dict[int, list] = {}
+    for page in crawled.report.pages:
+        by_states.setdefault(page.states, []).append(page)
+    points = []
+    for states in sorted(by_states):
+        group = by_states[states]
+        points.append(
+            StateTimePoint(
+                states=states,
+                pages=len(group),
+                mean_crawl_time_ms=sum(p.crawl_time_ms for p in group) / len(group),
+                mean_processing_time_ms=sum(p.processing_time_ms for p in group)
+                / len(group),
+            )
+        )
+    return points
+
+
+def format_figure_7_4(points: list[StateTimePoint]) -> str:
+    rows = [
+        (p.states, p.pages, p.mean_crawl_time_ms, p.mean_processing_time_ms)
+        for p in points
+    ]
+    return format_table(
+        ["States", "Pages", "Crawl time (ms)", "Minus network (ms)"],
+        rows,
+        title="Figure 7.4: Crawling time vs number of states (linear growth)",
+    )
+
+
+def linearity_correlation(points: list[StateTimePoint]) -> float:
+    """Pearson correlation of states vs mean crawl time (≈1 when linear)."""
+    xs = [float(p.states) for p in points]
+    ys = [p.mean_crawl_time_ms for p in points]
+    n = len(points)
+    if n < 2:
+        return 1.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    if var_x == 0 or var_y == 0:
+        return 1.0
+    return cov / (var_x * var_y)

@@ -1,0 +1,110 @@
+"""Dataset-statistics experiments: Table 7.1, Figure 7.1, Figure 7.2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import datasets
+from repro.experiments.harness import format_table
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The rows of Table 7.1."""
+
+    num_pages: int
+    total_states: int
+    total_events: int
+    avg_events_per_page: float
+    events_leading_to_network: int
+
+    @property
+    def network_reduction(self) -> float:
+        """Fraction of events whose network call was avoided (~80%)."""
+        if self.total_events == 0:
+            return 0.0
+        return 1.0 - self.events_leading_to_network / self.total_events
+
+
+def table_7_1(num_videos: int = datasets.FULL_VIDEOS) -> DatasetStatistics:
+    """Crawl the dataset with the hot-node policy and report Table 7.1."""
+    crawled = datasets.crawl_ajax(num_videos)
+    report = crawled.report
+    return DatasetStatistics(
+        num_pages=report.num_pages,
+        total_states=report.total_states,
+        total_events=report.total_events,
+        avg_events_per_page=report.mean_events_per_page,
+        events_leading_to_network=report.total_ajax_calls,
+    )
+
+
+def format_table_7_1(stats: DatasetStatistics) -> str:
+    rows = [
+        ("Number of Pages", stats.num_pages),
+        ("Total Number of States", stats.total_states),
+        ("Total Number of Events", stats.total_events),
+        ("Avg. Number of Events per Page", stats.avg_events_per_page),
+        ("Events leading to Network Communication", stats.events_leading_to_network),
+        ("Network-call reduction by hot nodes", f"{stats.network_reduction:.0%}"),
+    ]
+    return format_table(
+        ["Parameter", "Value"], rows, title="Table 7.1: Statistics of the dataset"
+    )
+
+
+def figure_7_1(num_videos: int = datasets.FULL_VIDEOS) -> dict[int, int]:
+    """Distribution of videos per number of comment pages (ground truth)."""
+    site = datasets.get_site(num_videos)
+    return site.distribution.histogram(range(num_videos))
+
+
+def format_figure_7_1(histogram: dict[int, int]) -> str:
+    total = sum(histogram.values())
+    rows = [
+        (pages, count, f"{count / total:.1%}", "#" * max(1, round(40 * count / total)))
+        for pages, count in sorted(histogram.items())
+    ]
+    return format_table(
+        ["Comment pages", "Videos", "Share", ""],
+        rows,
+        title="Figure 7.1: Distribution of videos by number of comment pages",
+    )
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """One x-position of Figure 7.2."""
+
+    videos: int
+    states: int
+    events: int
+
+
+def figure_7_2(
+    subset_sizes: tuple[int, ...] = (20, 40, 60, 80, 100, 250, datasets.FULL_VIDEOS),
+) -> list[GrowthPoint]:
+    """#states and #events vs #crawled videos, from the full crawl's
+    per-page metrics (prefix sums — no re-crawl needed)."""
+    crawled = datasets.crawl_ajax(max(subset_sizes))
+    pages = crawled.report.pages
+    points = []
+    for size in subset_sizes:
+        prefix = pages[:size]
+        points.append(
+            GrowthPoint(
+                videos=size,
+                states=sum(page.states for page in prefix),
+                events=sum(page.events_invoked for page in prefix),
+            )
+        )
+    return points
+
+
+def format_figure_7_2(points: list[GrowthPoint]) -> str:
+    rows = [(p.videos, p.states, p.events, f"{p.events / max(p.states, 1):.2f}") for p in points]
+    return format_table(
+        ["Videos", "States", "Events", "Events/State"],
+        rows,
+        title="Figure 7.2: States and events vs number of crawled videos",
+    )

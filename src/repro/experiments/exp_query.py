@@ -1,0 +1,149 @@
+"""Query-processing experiments: Tables 7.4, 7.5 and Figure 7.9 (§7.5)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.experiments import datasets
+from repro.experiments.harness import format_table
+from repro.search import SearchEngine
+from repro.sites import WorkloadQuery, full_workload, paper_queries
+
+
+@lru_cache(maxsize=8)
+def build_engines(num_videos: int = datasets.QUERY_VIDEOS) -> tuple[SearchEngine, SearchEngine]:
+    """(traditional, ajax) search engines over the query dataset."""
+    crawled = datasets.crawl_ajax(num_videos)
+    pageranks = datasets.precrawl(max(num_videos, datasets.FULL_VIDEOS)).pageranks
+    ajax = SearchEngine.build(crawled.models, pageranks=pageranks)
+    traditional = SearchEngine.build(crawled.models, pageranks=pageranks, max_state_index=1)
+    return traditional, ajax
+
+
+@dataclass(frozen=True)
+class QueryOccurrences:
+    """One row of Table 7.4."""
+
+    query_id: str
+    query: str
+    first_page: int  # results in the traditional (first-state) index
+    all_pages: int  # results in the full AJAX index
+
+
+def table_7_4(num_videos: int = datasets.QUERY_VIDEOS) -> list[QueryOccurrences]:
+    traditional, ajax = build_engines(num_videos)
+    rows = []
+    for query in paper_queries():
+        rows.append(
+            QueryOccurrences(
+                query_id=query.query_id,
+                query=query.text,
+                first_page=traditional.result_count(query.text),
+                all_pages=ajax.result_count(query.text),
+            )
+        )
+    return rows
+
+
+def format_table_7_4(rows: list[QueryOccurrences]) -> str:
+    table_rows = [(r.query_id, r.query, r.first_page, r.all_pages) for r in rows]
+    return format_table(
+        ["ID", "Query", "Occurrences First Page", "Occurrences All Pages"],
+        table_rows,
+        title="Table 7.4: The query workload",
+    )
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """One row of Table 7.5 / one pair of bars in Figure 7.9."""
+
+    query_id: str
+    query: str
+    traditional_ms: float
+    ajax_ms: float
+    traditional_results: int
+    ajax_results: int
+
+    @property
+    def traditional_throughput(self) -> float:
+        """Results per second on the traditional index."""
+        if self.traditional_ms == 0:
+            return 0.0
+        return self.traditional_results / (self.traditional_ms / 1000.0)
+
+    @property
+    def ajax_throughput(self) -> float:
+        if self.ajax_ms == 0:
+            return 0.0
+        return self.ajax_results / (self.ajax_ms / 1000.0)
+
+
+def _time_query(engine: SearchEngine, query: str, repeats: int = 5) -> tuple[float, int]:
+    """Median wall-clock of ``engine.search(query)`` plus result count."""
+    durations = []
+    count = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = engine.search(query)
+        durations.append((time.perf_counter() - start) * 1000.0)
+        count = len(results)
+    durations.sort()
+    return durations[len(durations) // 2], count
+
+
+def table_7_5(num_videos: int = datasets.QUERY_VIDEOS, repeats: int = 5) -> list[QueryTiming]:
+    traditional, ajax = build_engines(num_videos)
+    rows = []
+    for query in paper_queries():
+        trad_ms, trad_count = _time_query(traditional, query.text, repeats)
+        ajax_ms, ajax_count = _time_query(ajax, query.text, repeats)
+        rows.append(
+            QueryTiming(
+                query_id=query.query_id,
+                query=query.text,
+                traditional_ms=trad_ms,
+                ajax_ms=ajax_ms,
+                traditional_results=trad_count,
+                ajax_results=ajax_count,
+            )
+        )
+    return rows
+
+
+def format_table_7_5(rows: list[QueryTiming]) -> str:
+    table_rows = [
+        (r.query_id, r.query, f"{r.traditional_ms:.3f}", f"{r.ajax_ms:.3f}")
+        for r in rows
+    ]
+    return format_table(
+        ["ID", "Query", "Trad. (ms)", "AJAX (ms)"],
+        table_rows,
+        title="Table 7.5: Query processing times",
+    )
+
+
+def format_figure_7_9(rows: list[QueryTiming]) -> str:
+    table_rows = [
+        (
+            r.query_id,
+            r.query,
+            f"{r.traditional_throughput:,.0f}",
+            f"{r.ajax_throughput:,.0f}",
+            r.traditional_results,
+            r.ajax_results,
+        )
+        for r in rows
+    ]
+    return format_table(
+        ["ID", "Query", "Trad. results/s", "AJAX results/s", "Trad. hits", "AJAX hits"],
+        table_rows,
+        title="Figure 7.9: Query throughput, traditional vs AJAX search",
+    )
+
+
+def workload_queries(count: int = 100) -> list[WorkloadQuery]:
+    """The full 100-query workload used by §7.6/§7.7."""
+    return full_workload(count)

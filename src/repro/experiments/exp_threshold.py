@@ -1,0 +1,145 @@
+"""Crawl-threshold and search-quality experiments: Figures 7.10 and 7.11.
+
+Eleven indexes are built over the same crawled corpus, index *k*
+covering the first *k* states of every page model (k = 1 is the
+traditional index).  The 100-query workload is then run over every
+index:
+
+* Figure 7.10 — relative result throughput vs k (how query performance
+  degrades as more AJAX content is indexed);
+* Figure 7.11 — 1 − RelRecall vs k (how much recall is gained), with
+  RelRecall_{1,k}(q) = |R_1(q)| / |R_k(q)| (eq. 7.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.experiments import datasets
+from repro.experiments.exp_query import workload_queries
+from repro.experiments.harness import format_table
+from repro.search import SearchEngine
+
+#: The eleven index depths of §7.7 (1 = traditional, 11 = 10 extra states).
+INDEX_DEPTHS = tuple(range(1, 12))
+
+
+@lru_cache(maxsize=4)
+def build_depth_indexes(
+    num_videos: int = datasets.QUERY_VIDEOS,
+) -> dict[int, SearchEngine]:
+    """One engine per index depth k over the same crawl."""
+    crawled = datasets.crawl_ajax(num_videos)
+    return {
+        depth: SearchEngine.build(crawled.models, max_state_index=depth)
+        for depth in INDEX_DEPTHS
+    }
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """One x-position of Figures 7.10/7.11."""
+
+    states: int
+    #: Total boolean results over the workload.
+    total_results: int
+    #: Number of workload queries.
+    num_queries: int
+    #: Wall-clock of running the whole workload once (ms, best of repeats).
+    workload_ms: float
+    #: Mean (1 - RelRecall_{1,k}) over answerable queries.
+    recall_gain: float
+
+    @property
+    def throughput(self) -> float:
+        """Query throughput (queries answered per second).
+
+        This is the quantity whose AJAX/traditional *ratio* Figure 7.10
+        plots: indexing more states makes every query slower (more
+        postings merged, more results scored), so the relative
+        throughput decreases with the crawl depth.
+        """
+        if self.workload_ms == 0:
+            return 0.0
+        return self.num_queries / (self.workload_ms / 1000.0)
+
+
+def threshold_study(
+    num_videos: int = datasets.QUERY_VIDEOS,
+    query_count: int = 100,
+    repeats: int = 3,
+) -> list[ThresholdPoint]:
+    """Run the workload over all eleven depth-limited indexes."""
+    engines = build_depth_indexes(num_videos)
+    queries = [query.text for query in workload_queries(query_count)]
+    base_counts = {query: engines[1].result_count(query) for query in queries}
+    points = []
+    for depth in INDEX_DEPTHS:
+        engine = engines[depth]
+        best_ms = float("inf")
+        counts: dict[str, int] = {}
+        for _ in range(repeats):
+            start = time.perf_counter()
+            counts = {query: len(engine.search(query)) for query in queries}
+            best_ms = min(best_ms, (time.perf_counter() - start) * 1000.0)
+        gains = []
+        for query in queries:
+            if counts[query] > 0:
+                gains.append(1.0 - base_counts[query] / counts[query])
+        recall_gain = sum(gains) / len(gains) if gains else 0.0
+        points.append(
+            ThresholdPoint(
+                states=depth,
+                total_results=sum(counts.values()),
+                num_queries=len(queries),
+                workload_ms=best_ms,
+                recall_gain=recall_gain,
+            )
+        )
+    return points
+
+
+def format_figure_7_10(points: list[ThresholdPoint]) -> str:
+    """Relative result throughput of AJAX vs traditional per depth."""
+    base = points[0].throughput or 1.0
+    rows = [
+        (
+            p.states,
+            p.total_results,
+            f"{p.throughput:,.0f}",
+            f"{p.throughput / base:.3f}",
+        )
+        for p in points
+    ]
+    return format_table(
+        ["Indexed states", "Results", "Queries/s", "Relative throughput"],
+        rows,
+        title="Figure 7.10: Query throughput vs number of crawled states",
+    )
+
+
+def crawl_threshold(points: list[ThresholdPoint], limit: float = 0.4) -> int:
+    """The §7.6 tuning rule: deepest k whose relative throughput ≥ limit."""
+    base = points[0].throughput or 1.0
+    feasible = [p.states for p in points if p.throughput / base >= limit]
+    return max(feasible) if feasible else points[0].states
+
+
+def format_figure_7_11(points: list[ThresholdPoint]) -> str:
+    rows = [(p.states, f"{p.recall_gain:.3f}") for p in points]
+    return format_table(
+        ["Indexed states", "1 - RelRecall"],
+        rows,
+        title="Figure 7.11: 1 - RelRecall of traditional vs AJAX search",
+    )
+
+
+def recall_threshold(points: list[ThresholdPoint], target: float = 0.7) -> int:
+    """The §7.7 rule: smallest k reaching ``target`` of the max gain."""
+    max_gain = max(p.recall_gain for p in points) or 1.0
+    for point in points:
+        if point.recall_gain >= target * max_gain:
+            return point.states
+    return points[-1].states

@@ -1,0 +1,63 @@
+"""Formatting helpers shared by the benchmark harness.
+
+Every experiment runner returns structured data; these helpers render it
+in the row/series layout of the corresponding thesis table or figure so
+that the benchmark output can be compared against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Where benchmark runners persist their rendered output.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered experiment output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def emit(name: str, text: str) -> str:
+    """Print and persist one experiment's rendered output."""
+    print()
+    print(text)
+    save_result(name, text)
+    return text

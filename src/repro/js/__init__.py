@@ -1,0 +1,56 @@
+"""JavaScript substrate: lexer, parser, interpreter and debugger API.
+
+A from-scratch interpreter for the JavaScript subset that AJAX pages
+exercise.  It replaces the Rhino engine of the thesis and, crucially,
+reproduces the two Rhino facilities hot-node detection depends on
+(section 4.4): an inspectable call stack with actual argument values,
+and an attachable debugger whose ``on_enter`` hook can intercept calls.
+"""
+
+from repro.js.debugger import CallStack, Debugger, Intercept, StackFrame
+from repro.js.environment import Environment
+from repro.js.interpreter import Interpreter, JsStepLimitError, JsThrownValue
+from repro.js.lexer import Lexer, tokenize
+from repro.js.parser import Parser, parse_expression, parse_program
+from repro.js.values import (
+    HostConstructor,
+    HostObject,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    UNDEFINED,
+    is_callable,
+    is_truthy,
+    to_number,
+    to_string,
+    type_of,
+)
+
+__all__ = [
+    "CallStack",
+    "Debugger",
+    "Intercept",
+    "StackFrame",
+    "Environment",
+    "Interpreter",
+    "JsStepLimitError",
+    "JsThrownValue",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_program",
+    "HostConstructor",
+    "HostObject",
+    "JSArray",
+    "JSFunction",
+    "JSObject",
+    "NativeFunction",
+    "UNDEFINED",
+    "is_callable",
+    "is_truthy",
+    "to_number",
+    "to_string",
+    "type_of",
+]

@@ -1,0 +1,104 @@
+"""The debugger interface of the interpreter.
+
+This mirrors Rhino's ``Debugger``/``DebugFrame`` pair that section 4.4.2
+of the thesis relies on: an attached debugger is informed whenever
+script execution enters or leaves a function, moves to a new source line
+or raises, and — crucially for hot-node caching — the ``on_enter`` hook
+may *intercept* the call and supply the result without executing the
+function body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.js.values import to_string
+
+
+@dataclass
+class StackFrame:
+    """One entry of the interpreter's call stack."""
+
+    function_name: str
+    arguments: list[Any] = field(default_factory=list)
+    line: int = 0
+    #: True when the frame belongs to a native (Python-backed) function.
+    #: Hot-node StackInfo skips native frames such as ``open`` to find the
+    #: topmost *script* function (section 4.4.1).
+    native: bool = False
+
+    def render_arguments(self) -> str:
+        """Actual parameter values in the canonical hot-node format."""
+        return ", ".join(to_string(argument) for argument in self.arguments)
+
+    def signature(self) -> str:
+        """``name(arg, arg, ...)`` — the thesis' StackInfo string."""
+        return f"{self.function_name}({self.render_arguments()})"
+
+
+class CallStack:
+    """The interpreter's stack of :class:`StackFrame` objects."""
+
+    def __init__(self) -> None:
+        self._frames: list[StackFrame] = []
+
+    def push(self, frame: StackFrame) -> None:
+        self._frames.append(frame)
+
+    def pop(self) -> StackFrame:
+        return self._frames.pop()
+
+    def top(self) -> Optional[StackFrame]:
+        """The currently executing function's frame, or ``None``."""
+        return self._frames[-1] if self._frames else None
+
+    def top_script_frame(self) -> Optional[StackFrame]:
+        """The topmost non-native frame (the currently executing *script*
+        function), or ``None`` when only native frames are on the stack."""
+        for frame in reversed(self._frames):
+            if not frame.native:
+                return frame
+        return None
+
+    def frames(self) -> list[StackFrame]:
+        """Bottom-to-top snapshot of the stack."""
+        return list(self._frames)
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        chain = " > ".join(frame.function_name for frame in self._frames)
+        return f"CallStack({chain})"
+
+
+@dataclass
+class Intercept:
+    """Returned by ``Debugger.on_enter`` to skip a call and supply ``value``."""
+
+    value: Any
+
+
+class Debugger:
+    """Base debugger; attach to an interpreter via ``interpreter.attach_debugger``.
+
+    Subclass and override the hooks you need.  All hooks default to
+    no-ops, and ``on_enter`` returning ``None`` means "execute normally".
+    """
+
+    def on_enter(self, frame: StackFrame) -> Optional[Intercept]:
+        """Called before a function body runs.  Return an
+        :class:`Intercept` to skip execution and use its value as the
+        call result."""
+        return None
+
+    def on_exit(self, frame: StackFrame, result: Any) -> None:
+        """Called after a function body returned ``result``."""
+
+    def on_line(self, line: int) -> None:
+        """Called when execution reaches a new source line."""
+
+    def on_exception(self, frame: Optional[StackFrame], error: Exception) -> None:
+        """Called when a runtime error propagates out of a function."""

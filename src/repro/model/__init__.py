@@ -1,0 +1,7 @@
+"""The AJAX application model: states, transitions, transition graphs."""
+
+from repro.model.appmodel import ApplicationModel
+from repro.model.state import State
+from repro.model.transition import EventAnnotation, Transition
+
+__all__ = ["ApplicationModel", "State", "Transition", "EventAnnotation"]

@@ -1,0 +1,60 @@
+"""Application states (chapter 2).
+
+A state is one DOM snapshot of an AJAX page: "An application state is a
+DOM tree."  States are identified inside one page model by a sequential
+id (``s0`` is the initial state) and globally by the pair
+``(url, state_id)``.  Duplicate elimination uses the content hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class State:
+    """One node of the transition graph."""
+
+    #: Sequential id within the page model: "s0", "s1", ...
+    state_id: str
+    #: SHA-256 of the canonical DOM serialization (duplicate detection).
+    content_hash: str
+    #: Visible text of the state (what the indexer consumes).
+    text: str
+    #: Serialized DOM, kept when the crawler is configured to store HTML
+    #: (needed for offline state reconstruction without re-crawling).
+    html: Optional[str] = None
+    #: Distance (in transitions) from the initial state; used by
+    #: AJAXRank and by result aggregation.
+    depth: int = 0
+    #: Extra annotations (JS variable snapshot sizes, timings, ...).
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def index(self) -> int:
+        """The numeric part of :attr:`state_id`."""
+        return int(self.state_id[1:])
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "state_id": self.state_id,
+            "content_hash": self.content_hash,
+            "text": self.text,
+            "html": self.html,
+            "depth": self.depth,
+            "annotations": dict(self.annotations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "State":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            state_id=data["state_id"],
+            content_hash=data["content_hash"],
+            text=data["text"],
+            html=data.get("html"),
+            depth=data.get("depth", 0),
+            annotations=dict(data.get("annotations", {})),
+        )

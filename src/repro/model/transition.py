@@ -1,0 +1,79 @@
+"""Transitions of the AJAX page model (chapter 2).
+
+"The edges are transitions between states.  A transition is triggered by
+an event activated on the source element and applied to one or more
+target elements, whose properties change through an action."
+
+A transition therefore carries the full event annotation (source
+element, trigger type, handler) needed to *replay* it during result
+aggregation (section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EventAnnotation:
+    """The event information attached to a transition (Table 2.1 columns)."""
+
+    #: Where the event sits (element id or structural path description).
+    source: str
+    #: The trigger type, e.g. ``onclick``.
+    trigger: str
+    #: The handler source code, e.g. ``nextPage()``.
+    handler: str
+    #: Value typed into the source element before firing (forms extension).
+    input_value: Optional[str] = None
+
+    def describe(self) -> str:
+        base = f"{self.trigger}@{self.source}:{self.handler}"
+        if self.input_value is not None:
+            return f"{base}[value={self.input_value!r}]"
+        return base
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of the transition graph."""
+
+    from_state: str
+    to_state: str
+    event: EventAnnotation
+    #: The action(s) applied, e.g. ``("innerHTML",)``.
+    actions: tuple[str, ...] = ("innerHTML",)
+    #: The modified target element ids (``modif*`` in Algorithm 3.1.1).
+    modified: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        return {
+            "from_state": self.from_state,
+            "to_state": self.to_state,
+            "event": {
+                "source": self.event.source,
+                "trigger": self.event.trigger,
+                "handler": self.event.handler,
+                "input_value": self.event.input_value,
+            },
+            "actions": list(self.actions),
+            "modified": list(self.modified),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Transition":
+        return cls(
+            from_state=data["from_state"],
+            to_state=data["to_state"],
+            event=EventAnnotation(
+                source=data["event"]["source"],
+                trigger=data["event"]["trigger"],
+                handler=data["event"]["handler"],
+                input_value=data["event"].get("input_value"),
+            ),
+            actions=tuple(data.get("actions", ("innerHTML",))),
+            modified=tuple(data.get("modified", ())),
+        )

@@ -1,0 +1,45 @@
+"""Network substrate: simulated servers, gateway, stats and XMLHttpRequest.
+
+Replaces the live HTTP stack of the thesis with a deterministic,
+virtual-clock-driven equivalent.  The structure the crawler sees —
+page fetches, AJAX round trips, latencies, byte counts — is identical.
+"""
+
+from repro.net.http import Request, Response, not_found
+from repro.net.server import (
+    RoutedServer,
+    SimulatedServer,
+    StaticServer,
+    StatelessnessChecker,
+)
+from repro.net.gateway import NETWORK_ACCOUNT, NetworkGateway
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyDistribution,
+    LognormalLatency,
+    SpikyLatency,
+    UniformJitter,
+)
+from repro.net.stats import NetworkStats
+from repro.net.xhr import HotCallPolicy, XMLHttpRequest, make_xhr_constructor
+
+__all__ = [
+    "Request",
+    "Response",
+    "not_found",
+    "SimulatedServer",
+    "StaticServer",
+    "RoutedServer",
+    "StatelessnessChecker",
+    "NetworkGateway",
+    "NETWORK_ACCOUNT",
+    "NetworkStats",
+    "HotCallPolicy",
+    "XMLHttpRequest",
+    "make_xhr_constructor",
+    "LatencyDistribution",
+    "ConstantLatency",
+    "UniformJitter",
+    "LognormalLatency",
+    "SpikyLatency",
+]

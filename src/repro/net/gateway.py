@@ -1,0 +1,54 @@
+"""The network gateway: the single choke point between client and server.
+
+Every page load and every XMLHttpRequest goes through a
+:class:`NetworkGateway`, which consults the simulated server, charges
+latency to the virtual clock and books counters into
+:class:`~repro.net.stats.NetworkStats`.  Having one choke point is what
+makes the "number of AJAX calls" experiments (Figure 7.5) trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clock import CostModel, SimClock
+from repro.errors import NetworkError
+from repro.net.http import Request, Response
+from repro.net.server import SimulatedServer
+from repro.net.stats import NetworkStats
+
+#: Clock account used for all network waits.
+NETWORK_ACCOUNT = "network"
+
+
+class NetworkGateway:
+    """Performs simulated requests, charging time and recording stats."""
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        clock: SimClock,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[NetworkStats] = None,
+    ) -> None:
+        self.server = server
+        self.clock = clock
+        self.cost_model = cost_model or CostModel()
+        self.stats = stats or NetworkStats()
+
+    def fetch_page(self, url: str) -> Response:
+        """Fetch a full page (a traditional page load)."""
+        return self._request(Request("GET", url), kind="page")
+
+    def ajax_request(self, method: str, url: str, body: str = "") -> Response:
+        """Perform one XMLHttpRequest round trip."""
+        return self._request(Request(method.upper(), url, body), kind="ajax")
+
+    def _request(self, request: Request, kind: str) -> Response:
+        response = self.server.handle(request)
+        if response.status >= 500:
+            raise NetworkError(f"server error {response.status} for {request.url}")
+        latency = self.cost_model.network_latency_ms(kind, response.body_bytes)
+        self.clock.advance(latency, account=NETWORK_ACCOUNT)
+        self.stats.record(kind, request.url, response.body_bytes, latency)
+        return response

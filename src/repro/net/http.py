@@ -1,0 +1,49 @@
+"""Request/response types for the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP request against the simulated server."""
+
+    method: str
+    url: str
+    body: str = ""
+
+    @property
+    def path(self) -> str:
+        """The path component of :attr:`url`."""
+        return urlsplit(self.url).path
+
+    @property
+    def query(self) -> dict[str, str]:
+        """The query string parsed into a dict (last value wins)."""
+        return dict(parse_qsl(urlsplit(self.url).query))
+
+
+@dataclass
+class Response:
+    """One HTTP response from the simulated server."""
+
+    status: int = 200
+    body: str = ""
+    content_type: str = "text/html"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def body_bytes(self) -> int:
+        """Size of the body in bytes (drives simulated transfer cost)."""
+        return len(self.body.encode("utf-8"))
+
+
+def not_found(url: str) -> Response:
+    """A standard 404 response."""
+    return Response(status=404, body=f"<html><body>404: {url}</body></html>")

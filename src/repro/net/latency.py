@@ -1,0 +1,88 @@
+"""Latency distributions for the simulated network.
+
+The default cost model applies uniform multiplicative jitter; real
+networks are heavy-tailed.  These distributions plug into
+:class:`~repro.clock.CostModel` (``latency_distribution=``) to study how
+latency shape affects crawl times — e.g. a lognormal tail makes the
+per-page crawl-time histogram (Figure 7.3) spread right.
+
+Every distribution returns a positive multiplicative factor applied to
+the base latency, and is deterministic under its seeded RNG.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class LatencyDistribution:
+    """Interface: sample a positive latency factor."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyDistribution):
+    """No variance: every request takes exactly ``factor`` × base."""
+
+    def __init__(self, factor: float = 1.0) -> None:
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self.factor = factor
+
+    def sample(self) -> float:
+        return self.factor
+
+
+class UniformJitter(LatencyDistribution):
+    """Uniform factor in [1 - spread, 1 + spread] (the default shape)."""
+
+    def __init__(self, spread: float = 0.2, seed: int = 0x5EED) -> None:
+        if not 0 <= spread < 1:
+            raise ValueError("spread must be in [0, 1)")
+        self.spread = spread
+        self.rng = random.Random(seed)
+
+    def sample(self) -> float:
+        return 1.0 + self.rng.uniform(-self.spread, self.spread)
+
+
+class LognormalLatency(LatencyDistribution):
+    """Heavy-tailed factor with median 1 (log-space sigma ``sigma``)."""
+
+    def __init__(self, sigma: float = 0.5, seed: int = 0x5EED) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma = sigma
+        self.rng = random.Random(seed)
+
+    def sample(self) -> float:
+        return math.exp(self.rng.gauss(0.0, self.sigma))
+
+
+class SpikyLatency(LatencyDistribution):
+    """Mostly-fast network with occasional slow spikes.
+
+    With probability ``spike_probability`` a request takes
+    ``spike_factor`` × base (a congested moment); otherwise 1×.
+    """
+
+    def __init__(
+        self,
+        spike_probability: float = 0.05,
+        spike_factor: float = 8.0,
+        seed: int = 0x5EED,
+    ) -> None:
+        if not 0 <= spike_probability <= 1:
+            raise ValueError("spike probability must be in [0, 1]")
+        if spike_factor <= 0:
+            raise ValueError("spike factor must be positive")
+        self.spike_probability = spike_probability
+        self.spike_factor = spike_factor
+        self.rng = random.Random(seed)
+
+    def sample(self) -> float:
+        if self.rng.random() < self.spike_probability:
+            return self.spike_factor
+        return 1.0

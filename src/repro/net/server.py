@@ -1,0 +1,99 @@
+"""The simulated web server.
+
+A :class:`SimulatedServer` is any object that turns a
+:class:`~repro.net.http.Request` into a :class:`~repro.net.http.Response`.
+The synthetic YouTube site implements this interface; tests use the
+small :class:`RoutedServer`/:class:`StaticServer` helpers.
+
+The thesis assumes *statelessness of the server* (section 4.3): the same
+request always yields the same response.  :class:`StatelessnessChecker`
+wraps any server and asserts that property, which several tests and the
+hot-node cache rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.http import Request, Response, not_found
+
+
+class SimulatedServer:
+    """Interface: subclasses implement :meth:`handle`."""
+
+    def handle(self, request: Request) -> Response:
+        """Produce the response for ``request``."""
+        raise NotImplementedError
+
+
+class StaticServer(SimulatedServer):
+    """Serves a fixed URL → body mapping.  Handy in tests."""
+
+    def __init__(self, pages: Optional[dict[str, str]] = None) -> None:
+        self.pages: dict[str, str] = dict(pages or {})
+
+    def add_page(self, url: str, body: str) -> None:
+        self.pages[url] = body
+
+    def handle(self, request: Request) -> Response:
+        body = self.pages.get(request.url)
+        if body is None:
+            return not_found(request.url)
+        return Response(body=body)
+
+
+class RoutedServer(SimulatedServer):
+    """Dispatches on regex routes over the request path."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[re.Pattern[str], Callable[[Request, re.Match[str]], Response]]] = []
+
+    def route(self, pattern: str) -> Callable[
+        [Callable[[Request, re.Match[str]], Response]],
+        Callable[[Request, re.Match[str]], Response],
+    ]:
+        """Decorator registering a handler for paths matching ``pattern``."""
+
+        def register(handler: Callable[[Request, re.Match[str]], Response]):
+            self._routes.append((re.compile(pattern), handler))
+            return handler
+
+        return register
+
+    def handle(self, request: Request) -> Response:
+        for pattern, handler in self._routes:
+            match = pattern.fullmatch(request.path)
+            if match is not None:
+                return handler(request, match)
+        return not_found(request.url)
+
+
+class StatelessnessChecker(SimulatedServer):
+    """Wraps a server and verifies the snapshot/statelessness assumption.
+
+    Raises :class:`~repro.errors.NetworkError` if the same request ever
+    produces two different responses during the wrapper's lifetime.
+    """
+
+    def __init__(self, inner: SimulatedServer) -> None:
+        self.inner = inner
+        self._seen: dict[tuple[str, str, str], str] = {}
+
+    def handle(self, request: Request) -> Response:
+        response = self.inner.handle(request)
+        key = (request.method, request.url, request.body)
+        digest = hashlib.sha256(
+            f"{response.status}|{response.body}".encode("utf-8")
+        ).hexdigest()
+        previous = self._seen.get(key)
+        if previous is None:
+            self._seen[key] = digest
+        elif previous != digest:
+            raise NetworkError(
+                f"server is not stateless: {request.method} {request.url} "
+                "returned different responses"
+            )
+        return response

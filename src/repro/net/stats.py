@@ -1,0 +1,64 @@
+"""Counters for network activity.
+
+The evaluation chapter reports network calls, avoided (cached) calls and
+network time for whole crawls (Figures 7.5-7.7 and Table 7.1), so the
+gateway and the hot-node cache both book into a :class:`NetworkStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Mutable network counters for one crawl (or one crawler process)."""
+
+    #: Full page fetches performed.
+    page_fetches: int = 0
+    #: AJAX calls that actually went to the server.
+    ajax_calls: int = 0
+    #: AJAX calls answered from the hot-node cache (no network).
+    cached_hits: int = 0
+    #: Total bytes transferred.
+    bytes_transferred: int = 0
+    #: Virtual milliseconds spent waiting on the network.
+    network_time_ms: float = 0.0
+    #: Per-URL request counts (diagnostics).
+    requests_by_url: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        """All requests that hit the network."""
+        return self.page_fetches + self.ajax_calls
+
+    @property
+    def attempted_ajax_calls(self) -> int:
+        """AJAX call attempts, whether served by network or cache."""
+        return self.ajax_calls + self.cached_hits
+
+    def record(self, kind: str, url: str, body_bytes: int, latency_ms: float) -> None:
+        """Book one performed network request."""
+        if kind == "page":
+            self.page_fetches += 1
+        elif kind == "ajax":
+            self.ajax_calls += 1
+        else:
+            raise ValueError(f"unknown request kind {kind!r}")
+        self.bytes_transferred += body_bytes
+        self.network_time_ms += latency_ms
+        self.requests_by_url[url] = self.requests_by_url.get(url, 0) + 1
+
+    def record_cache_hit(self) -> None:
+        """Book one AJAX call avoided by the hot-node cache."""
+        self.cached_hits += 1
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another stats object into this one (parallel crawls)."""
+        self.page_fetches += other.page_fetches
+        self.ajax_calls += other.ajax_calls
+        self.cached_hits += other.cached_hits
+        self.bytes_transferred += other.bytes_transferred
+        self.network_time_ms += other.network_time_ms
+        for url, count in other.requests_by_url.items():
+            self.requests_by_url[url] = self.requests_by_url.get(url, 0) + count

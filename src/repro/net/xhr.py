@@ -1,0 +1,163 @@
+"""The ``XMLHttpRequest`` host object.
+
+This is the Python equivalent of the thesis' Java ``XMLHttpRequest``
+class (section 4.4.1): page scripts construct it with ``new``, call
+``open``/``send`` and read ``responseText``.  ``send`` is the single
+point where AJAX traffic happens, and therefore the single point where
+the hot-node policy can step in:
+
+* it asks the interpreter's call stack for the topmost *script* function
+  and its actual arguments (the ``StackInfo`` of section 4.4.1), and
+* consults an attached :class:`HotCallPolicy` — a cache hit serves the
+  stored response without touching the network; a miss performs the
+  request and stores the result.
+
+The observer wiring of the thesis (AJAXDocument observing
+``HTMLDocumentImpl``) collapses here into the ``observer`` callback that
+fires for every hot call with its stack signature.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+from urllib.parse import urljoin
+
+from repro.errors import JsTypeError, NetworkError
+from repro.js.debugger import StackFrame
+from repro.js.interpreter import Interpreter
+from repro.js.values import HostConstructor, HostObject, NativeFunction, UNDEFINED, to_string
+from repro.net.gateway import NetworkGateway
+
+
+class HotCallPolicy:
+    """Interface of the hot-node cache as seen by ``XMLHttpRequest``.
+
+    The real implementation lives in :mod:`repro.crawler.hotnode`; a
+    ``None`` policy means every AJAX call goes over the network.
+    """
+
+    def lookup(self, signature: str) -> Optional[str]:
+        """Cached response body for ``signature``, or ``None``."""
+        raise NotImplementedError
+
+    def store(self, signature: str, response_body: str) -> None:
+        """Record the response of a freshly performed hot call."""
+        raise NotImplementedError
+
+
+#: Callback type: ``observer(signature, url, from_cache)``.
+HotCallObserver = Callable[[str, str, bool], None]
+
+
+class XMLHttpRequest(HostObject):
+    """A synchronous-completion XMLHttpRequest bound to one page."""
+
+    host_class = "XMLHttpRequest"
+
+    def __init__(
+        self,
+        gateway: NetworkGateway,
+        base_url: str = "",
+        policy: Optional[HotCallPolicy] = None,
+        observer: Optional[HotCallObserver] = None,
+    ) -> None:
+        self.gateway = gateway
+        self.base_url = base_url
+        self.policy = policy
+        self.observer = observer
+        self.method = "GET"
+        self.url = ""
+        self.async_flag = True
+        self.ready_state = 0.0
+        self.status = 0.0
+        self.response_text = ""
+        self._opened = False
+
+    # -- host protocol ---------------------------------------------------------
+
+    def js_get(self, name: str) -> Any:
+        if name == "open":
+            return NativeFunction("open", self._js_open)
+        if name == "send":
+            return NativeFunction("send", self._js_send)
+        if name == "responseText":
+            return self.response_text
+        if name == "status":
+            return self.status
+        if name == "readyState":
+            return self.ready_state
+        return UNDEFINED
+
+    def js_set(self, name: str, value: Any) -> None:
+        if name == "onreadystatechange":
+            # Accepted but unused: completion is synchronous here.
+            return
+        raise JsTypeError(f"cannot set XMLHttpRequest property {name!r}")
+
+    def js_keys(self) -> list[str]:
+        return ["open", "send", "responseText", "status", "readyState"]
+
+    # -- methods -----------------------------------------------------------------
+
+    def _js_open(self, interp: Interpreter, this: Any, args: list[Any]) -> Any:
+        if len(args) < 2:
+            raise JsTypeError("XMLHttpRequest.open(method, url[, async])")
+        self.method = to_string(args[0])
+        self.url = urljoin(self.base_url, to_string(args[1]))
+        self.async_flag = bool(args[2]) if len(args) > 2 else True
+        self.ready_state = 1.0
+        self._opened = True
+        return UNDEFINED
+
+    def _js_send(self, interp: Interpreter, this: Any, args: list[Any]) -> Any:
+        if not self._opened:
+            raise NetworkError("XMLHttpRequest.send() before open()")
+        body = "" if not args or args[0] in (None, UNDEFINED) else to_string(args[0])
+        signature = self._stack_signature(interp)
+        cached = self.policy.lookup(signature) if self.policy is not None else None
+        if cached is not None:
+            self.response_text = cached
+            self.status = 200.0
+            self.gateway.stats.record_cache_hit()
+            self._notify(signature, from_cache=True)
+        else:
+            response = self.gateway.ajax_request(self.method, self.url, body)
+            self.response_text = response.body
+            self.status = float(response.status)
+            if self.policy is not None and response.ok:
+                self.policy.store(signature, response.body)
+            self._notify(signature, from_cache=False)
+        self.ready_state = 4.0
+        return UNDEFINED
+
+    def _stack_signature(self, interp: Interpreter) -> str:
+        """The hot-node key: topmost script function + actual arguments.
+
+        When ``send`` runs, the stack looks like
+        ``... > getUrl(url, async) > send(...)`` — the topmost non-native
+        frame is the function whose execution reaches the network, i.e.
+        the hot node.  Falls back to the raw request when no script frame
+        exists (direct invocation from Python).
+        """
+        frame: Optional[StackFrame] = interp.call_stack.top_script_frame()
+        if frame is None:
+            return f"<toplevel>({self.method} {self.url})"
+        return frame.signature()
+
+    def _notify(self, signature: str, from_cache: bool) -> None:
+        if self.observer is not None:
+            self.observer(signature, self.url, from_cache)
+
+
+def make_xhr_constructor(
+    gateway: NetworkGateway,
+    base_url: str = "",
+    policy: Optional[HotCallPolicy] = None,
+    observer: Optional[HotCallObserver] = None,
+) -> HostConstructor:
+    """Build the ``XMLHttpRequest`` constructor to install as a global."""
+
+    def construct(interp: Interpreter, args: list[Any]) -> XMLHttpRequest:
+        return XMLHttpRequest(gateway, base_url=base_url, policy=policy, observer=observer)
+
+    return HostConstructor("XMLHttpRequest", construct)

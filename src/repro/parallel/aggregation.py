@@ -1,0 +1,50 @@
+"""Distributed result aggregation (§6.6).
+
+In the parallel architecture the page models live with the partition
+that crawled them, so materializing a search result takes one extra
+step: "Determine the page model (the machine) the result originally
+comes from."  The :class:`DistributedResultAggregator` keeps the
+URL → model routing table over all partitions and then delegates to the
+ordinary event-replay reconstruction of §5.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.browser import Browser, Page
+from repro.errors import SearchError
+from repro.model import ApplicationModel
+from repro.search.aggregation import ResultAggregator
+from repro.search.engine import SearchResult
+
+
+class DistributedResultAggregator:
+    """Reconstructs result states when models are spread over partitions."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        model_partitions: Iterable[list[ApplicationModel]],
+    ) -> None:
+        self._aggregator = ResultAggregator(browser)
+        #: URL -> (partition number, model): the §6.6 routing step.
+        self._route: dict[str, tuple[int, ApplicationModel]] = {}
+        for partition_number, models in enumerate(model_partitions):
+            for model in models:
+                self._route[model.url] = (partition_number, model)
+
+    def partition_of(self, uri: str) -> int:
+        """Which partition (machine) holds the model of ``uri``."""
+        entry = self._route.get(uri)
+        if entry is None:
+            raise SearchError(f"no crawled model for {uri!r} in any partition")
+        return entry[0]
+
+    def reconstruct(self, result: SearchResult) -> Page:
+        """Materialize a search result as a live page (steps 1-5 of §6.6)."""
+        entry = self._route.get(result.uri)
+        if entry is None:
+            raise SearchError(f"no crawled model for {result.uri!r} in any partition")
+        _, model = entry
+        return self._aggregator.reconstruct(model, result.state_id)

@@ -1,0 +1,44 @@
+"""The AJAX search engine (chapter 5).
+
+State-granular inverted file, boolean retrieval with conjunction merge,
+eq. 5.3 ranking (PageRank + AJAXRank + tf/idf + term proximity) and
+result aggregation by event replay.
+"""
+
+from repro.search.aggregation import ResultAggregator
+from repro.search.engine import SearchEngine, SearchResult
+from repro.search.index import InvertedFile
+from repro.search.postings import Posting, merge_conjunction, sort_postings
+from repro.search.query import Match, evaluate
+from repro.search.ranking import (
+    RankingWeights,
+    ajaxrank,
+    pagerank,
+    term_proximity,
+)
+from repro.search.tokenizer import (
+    ENGLISH_STOPWORDS,
+    query_terms,
+    tokenize,
+    tokenize_with_positions,
+)
+
+__all__ = [
+    "SearchEngine",
+    "SearchResult",
+    "InvertedFile",
+    "Posting",
+    "merge_conjunction",
+    "sort_postings",
+    "Match",
+    "evaluate",
+    "RankingWeights",
+    "pagerank",
+    "ajaxrank",
+    "term_proximity",
+    "ResultAggregator",
+    "tokenize",
+    "tokenize_with_positions",
+    "query_terms",
+    "ENGLISH_STOPWORDS",
+]

@@ -1,0 +1,109 @@
+"""The AJAX search engine facade (chapter 5).
+
+Combines the inverted file, the hyperlink PageRank, the per-page
+AJAXRanks and the ranking formula of eq. 5.3 into one queryable object.
+Results are ``(URI, state, rank)`` triples — the 3-tuples of §6.5.1 —
+sorted by rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.model import ApplicationModel
+from repro.search.index import InvertedFile
+from repro.search.query import Match, evaluate
+from repro.search.ranking import RankingWeights, ajaxrank, term_proximity
+from repro.search.tokenizer import query_terms
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked search result: the (u, s, r) tuple of §6.5.1."""
+
+    uri: str
+    state_id: str
+    score: float
+    #: Score decomposition, for tests and explainability.
+    components: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+class SearchEngine:
+    """Index + ranking state for one (shard of a) crawled corpus."""
+
+    def __init__(
+        self,
+        index: InvertedFile,
+        pageranks: Optional[dict[str, float]] = None,
+        ajaxranks: Optional[dict[tuple[str, str], float]] = None,
+        weights: RankingWeights = RankingWeights(),
+    ) -> None:
+        self.index = index
+        self.pageranks = pageranks or {}
+        self.ajaxranks = ajaxranks or {}
+        self.weights = weights
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        models: Iterable[ApplicationModel],
+        pageranks: Optional[dict[str, float]] = None,
+        weights: RankingWeights = RankingWeights(),
+        max_state_index: Optional[int] = None,
+    ) -> "SearchEngine":
+        """Index models and precompute every page's AJAXRank."""
+        models = list(models)
+        index = InvertedFile(max_state_index=max_state_index).build(models)
+        ajaxranks: dict[tuple[str, str], float] = {}
+        for model in models:
+            for state_id, rank in ajaxrank(model).items():
+                ajaxranks[(model.url, state_id)] = rank
+        return cls(index, pageranks=pageranks, ajaxranks=ajaxranks, weights=weights)
+
+    # -- querying ----------------------------------------------------------------
+
+    def search(self, query: str, limit: Optional[int] = None) -> list[SearchResult]:
+        """Boolean retrieval + eq. 5.3 ranking, best first."""
+        matches = evaluate(self.index, query)
+        terms = query_terms(query, stopwords=self.index.stopwords)
+        idfs = [self.index.idf(term) for term in terms]
+        results = [self._score(match, terms, idfs) for match in matches]
+        results.sort(key=lambda result: (-result.score, result.uri, result.state_id))
+        return results[:limit] if limit is not None else results
+
+    def result_count(self, query: str) -> int:
+        """Number of boolean matches (used by the recall experiments)."""
+        return len(evaluate(self.index, query))
+
+    # -- scoring -------------------------------------------------------------------
+
+    def _score(self, match: Match, terms: list[str], idfs: list[float]) -> SearchResult:
+        weights = self.weights
+        length = self.index.state_length(match.uri, match.state_id)
+        tfidf = 0.0
+        for posting, idf in zip(match.postings, idfs):
+            tf = posting.count / length if length else 0.0
+            tfidf += tf * idf
+        proximity = term_proximity([posting.positions for posting in match.postings])
+        page_rank = self.pageranks.get(match.uri, 0.0)
+        ajax_rank = self.ajaxranks.get((match.uri, match.state_id), 0.0)
+        score = (
+            weights.pagerank * page_rank
+            + weights.ajaxrank * ajax_rank
+            + weights.tfidf * tfidf
+            + weights.proximity * proximity
+        )
+        return SearchResult(
+            uri=match.uri,
+            state_id=match.state_id,
+            score=score,
+            components={
+                "pagerank": page_rank,
+                "ajaxrank": ajax_rank,
+                "tfidf": tfidf,
+                "proximity": proximity,
+            },
+        )

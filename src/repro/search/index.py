@@ -1,0 +1,220 @@
+"""The state-granular inverted file (§5.2).
+
+"As opposed to traditional index processing, in our case a result is an
+URI *and a state*."  The index maps each keyword to postings of
+``(uri, state, positions)``; states play the role documents play in a
+traditional inverted file, including for the tf/idf statistics (§5.3.3).
+
+The ``max_state_index`` knob builds an index over only the first *k*
+states of every model — this is how the eleven indexes of the
+search-quality experiment (§7.7) and the crawl-threshold experiment
+(§7.6) are produced.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.errors import SearchError
+from repro.model import ApplicationModel
+from repro.search.postings import Posting, sort_postings
+from repro.search.tokenizer import tokenize_with_positions
+
+
+class InvertedFile:
+    """Keyword → sorted posting list, plus per-state statistics."""
+
+    def __init__(
+        self,
+        max_state_index: Optional[int] = None,
+        stopwords: Optional[frozenset[str]] = None,
+    ) -> None:
+        #: Only states with index < max_state_index are indexed
+        #: (None = all states).  ``1`` reproduces a traditional index.
+        self.max_state_index = max_state_index
+        #: Stopwords dropped at indexing time (None = index everything).
+        self.stopwords = stopwords
+        self._postings: dict[str, list[Posting]] = {}
+        #: (uri, state_id) -> number of tokens in the state (tf denominator).
+        self._state_lengths: dict[tuple[str, str], int] = {}
+        #: (uri, state_id) -> BFS depth of the state (for AJAXRank fallback).
+        self._state_depths: dict[tuple[str, str], int] = {}
+        #: (uri, state_id) -> terms it contains (for incremental removal).
+        self._state_terms: dict[tuple[str, str], tuple[str, ...]] = {}
+        self._sorted = True
+
+    # -- construction ------------------------------------------------------------
+
+    def add_model(self, model: ApplicationModel) -> None:
+        """Index (a prefix of) one application model."""
+        for state in model.states():
+            if self.max_state_index is not None and state.index >= self.max_state_index:
+                continue
+            self._add_state(model.url, state.state_id, state.text, state.depth)
+
+    def _add_state(self, uri: str, state_id: str, text: str, depth: int) -> None:
+        key = (uri, state_id)
+        if key in self._state_lengths:
+            raise SearchError(f"state {key} indexed twice")
+        tokens = tokenize_with_positions(text, stopwords=self.stopwords)
+        self._state_lengths[key] = len(tokens)
+        self._state_depths[key] = depth
+        by_term: dict[str, list[int]] = {}
+        for token, position in tokens:
+            by_term.setdefault(token, []).append(position)
+        for term, positions in by_term.items():
+            self._postings.setdefault(term, []).append(
+                Posting(uri=uri, state_id=state_id, positions=tuple(positions))
+            )
+        self._state_terms[key] = tuple(by_term)
+        self._sorted = False
+
+    # -- incremental maintenance (§7.1.2 cites incremental indexing) --------------
+
+    def remove_url(self, uri: str) -> int:
+        """Drop every state of ``uri`` from the index (for re-crawls).
+
+        Returns the number of states removed.
+        """
+        keys = [key for key in self._state_lengths if key[0] == uri]
+        terms_touched: set[str] = set()
+        for key in keys:
+            del self._state_lengths[key]
+            self._state_depths.pop(key, None)
+            terms_touched.update(self._state_terms.pop(key, ()))
+        for term in terms_touched:
+            remaining = [p for p in self._postings.get(term, []) if p.uri != uri]
+            if remaining:
+                self._postings[term] = remaining
+            else:
+                self._postings.pop(term, None)
+        return len(keys)
+
+    def update_model(self, model: ApplicationModel) -> None:
+        """Replace ``model.url``'s states with the model's current ones
+        (incremental index maintenance after a re-crawl)."""
+        self.remove_url(model.url)
+        self.add_model(model)
+        self.finalize()
+
+    def build(self, models: Iterable[ApplicationModel]) -> "InvertedFile":
+        """Index many models and finalize; returns self for chaining."""
+        for model in models:
+            self.add_model(model)
+        self.finalize()
+        return self
+
+    def finalize(self) -> None:
+        """Sort posting lists into canonical order (idempotent)."""
+        if self._sorted:
+            return
+        for term in self._postings:
+            self._postings[term] = sort_postings(self._postings[term])
+        self._sorted = True
+
+    # -- lookups ------------------------------------------------------------------
+
+    def postings(self, term: str) -> list[Posting]:
+        """The sorted posting list of ``term`` (empty if absent)."""
+        self.finalize()
+        return list(self._postings.get(term, []))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of states containing ``term`` (the idf denominator)."""
+        return len(self._postings.get(term, []))
+
+    @property
+    def num_states(self) -> int:
+        """Total number of indexed states (the idf numerator)."""
+        return len(self._state_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def state_length(self, uri: str, state_id: str) -> int:
+        """Token count of one state (tf denominator, eq. 5.1)."""
+        return self._state_lengths.get((uri, state_id), 0)
+
+    def state_depth(self, uri: str, state_id: str) -> int:
+        return self._state_depths.get((uri, state_id), 0)
+
+    def states(self) -> list[tuple[str, str]]:
+        """All indexed (uri, state_id) pairs."""
+        return list(self._state_lengths)
+
+    # -- statistics (eq. 5.1 / 5.2) ---------------------------------------------------
+
+    def tf(self, term: str, uri: str, state_id: str) -> float:
+        """Term frequency of ``term`` in one state (eq. 5.1)."""
+        length = self.state_length(uri, state_id)
+        if length == 0:
+            return 0.0
+        for posting in self._postings.get(term, []):
+            if posting.uri == uri and posting.state_id == state_id:
+                return posting.count / length
+        return 0.0
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency with states as documents (eq. 5.2)."""
+        df = self.document_frequency(term)
+        if df == 0 or self.num_states == 0:
+            return 0.0
+        return math.log(self.num_states / df)
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        self.finalize()
+        return {
+            "max_state_index": self.max_state_index,
+            "stopwords": sorted(self.stopwords) if self.stopwords else None,
+            "postings": {
+                term: [[p.uri, p.state_id, list(p.positions)] for p in plist]
+                for term, plist in self._postings.items()
+            },
+            "state_lengths": [
+                [uri, state_id, length]
+                for (uri, state_id), length in self._state_lengths.items()
+            ],
+            "state_depths": [
+                [uri, state_id, depth]
+                for (uri, state_id), depth in self._state_depths.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InvertedFile":
+        stopwords = data.get("stopwords")
+        index = cls(
+            max_state_index=data.get("max_state_index"),
+            stopwords=frozenset(stopwords) if stopwords else None,
+        )
+        for term, plist in data["postings"].items():
+            index._postings[term] = [
+                Posting(uri=uri, state_id=state_id, positions=tuple(positions))
+                for uri, state_id, positions in plist
+            ]
+        for uri, state_id, length in data["state_lengths"]:
+            index._state_lengths[(uri, state_id)] = length
+        for uri, state_id, depth in data.get("state_depths", []):
+            index._state_depths[(uri, state_id)] = depth
+        # Rebuild the per-state term registry (not persisted: derivable).
+        terms_by_state: dict[tuple[str, str], list[str]] = {}
+        for term, plist in index._postings.items():
+            for posting in plist:
+                terms_by_state.setdefault((posting.uri, posting.state_id), []).append(term)
+        for key, terms in terms_by_state.items():
+            index._state_terms[key] = tuple(terms)
+        index._sorted = True
+        return index
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InvertedFile":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

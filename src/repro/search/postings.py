@@ -1,0 +1,65 @@
+"""Posting lists and their conjunction merge (§5.3.2).
+
+A posting identifies one ``(URI, state)`` pair that contains a keyword —
+the enhanced inverted-file entry of Table 5.1 — together with the
+occurrence positions used for scoring and proximity.
+
+Posting lists are kept sorted on ``(uri, state index)``, so conjunctions
+are computed as a linear merge, exactly as Figure 5.2 describes:
+"entries are compatible if the URLs are compatible, then if the States
+are identical."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One inverted-file entry: keyword occurrence in one state."""
+
+    uri: str
+    state_id: str
+    positions: tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        """Occurrences of the keyword in the state (the Score of Table 5.1)."""
+        return len(self.positions)
+
+    @property
+    def sort_key(self) -> tuple[str, int]:
+        return (self.uri, int(self.state_id[1:]))
+
+
+def merge_conjunction(lists: list[list[Posting]]) -> list[list[Posting]]:
+    """Intersect posting lists on (URI, state).
+
+    Returns, for every (uri, state) present in *all* input lists, the
+    group of per-term postings ``[p_term1, p_term2, ...]`` — callers need
+    the individual positions for proximity scoring.
+    """
+    if not lists:
+        return []
+    if any(not postings for postings in lists):
+        return []
+    cursors = [0] * len(lists)
+    results: list[list[Posting]] = []
+    while all(cursors[i] < len(lists[i]) for i in range(len(lists))):
+        keys = [lists[i][cursors[i]].sort_key for i in range(len(lists))]
+        largest = max(keys)
+        if all(key == largest for key in keys):
+            results.append([lists[i][cursors[i]] for i in range(len(lists))])
+            for i in range(len(lists)):
+                cursors[i] += 1
+            continue
+        for i in range(len(lists)):
+            if keys[i] < largest:
+                cursors[i] += 1
+    return results
+
+
+def sort_postings(postings: list[Posting]) -> list[Posting]:
+    """Sort a posting list into canonical (uri, state) order."""
+    return sorted(postings, key=lambda posting: posting.sort_key)

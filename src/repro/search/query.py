@@ -1,0 +1,38 @@
+"""Query evaluation: simple keywords and conjunctions (§5.3).
+
+Evaluation is boolean: a result is every ``(URI, state)`` containing all
+query terms.  Scoring is delegated to the engine; this module only finds
+and groups the matching postings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+from repro.search.index import InvertedFile
+from repro.search.postings import Posting, merge_conjunction
+from repro.search.tokenizer import query_terms
+
+
+@dataclass(frozen=True)
+class Match:
+    """One boolean match: a state containing every query term."""
+
+    uri: str
+    state_id: str
+    #: Per-term postings (parallel to the query's term list).
+    postings: tuple[Posting, ...]
+
+
+def evaluate(index: InvertedFile, query: str) -> list[Match]:
+    """All states containing every term of ``query`` (Figure 5.2)."""
+    terms = query_terms(query, stopwords=index.stopwords)
+    if not terms:
+        raise SearchError("empty query")
+    lists = [index.postings(term) for term in terms]
+    groups = merge_conjunction(lists)
+    return [
+        Match(uri=group[0].uri, state_id=group[0].state_id, postings=tuple(group))
+        for group in groups
+    ]

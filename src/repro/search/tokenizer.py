@@ -1,0 +1,54 @@
+"""Tokenization for indexing and query processing.
+
+Boolean retrieval over comment text (chapter 5) needs nothing fancier
+than lowercased alphanumeric tokens, but positions must be kept for the
+term-proximity ranking coefficient (§5.3.3 item 4).
+
+An optional stopword list may be applied at indexing time; dropped
+stopwords keep their position "slot" so that proximity windows over the
+remaining terms stay honest.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Container, Optional
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A small English stopword list (opt-in; the default pipeline indexes
+#: everything, like the thesis' boolean-recall-oriented engine).
+ENGLISH_STOPWORDS = frozenset(
+    """a an and are as at be but by for if in is it of on or the this to
+    was were will with""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text``, in order."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def tokenize_with_positions(
+    text: str, stopwords: Optional[Container[str]] = None
+) -> list[tuple[str, int]]:
+    """Tokens paired with their ordinal position (0-based).
+
+    With ``stopwords``, stopword tokens are dropped but positions are
+    *not* renumbered, so term-proximity distances are preserved.
+    """
+    pairs = [(token, position) for position, token in enumerate(tokenize(text))]
+    if stopwords is None:
+        return pairs
+    return [(token, position) for token, position in pairs if token not in stopwords]
+
+
+def query_terms(query: str, stopwords: Optional[Container[str]] = None) -> list[str]:
+    """Tokenize a user query (same normalization as the index)."""
+    terms = tokenize(query)
+    if stopwords is None:
+        return terms
+    filtered = [term for term in terms if term not in stopwords]
+    # An all-stopword query falls back to the raw terms rather than
+    # becoming unanswerable.
+    return filtered or terms

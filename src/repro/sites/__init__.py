@@ -1,0 +1,40 @@
+"""Synthetic AJAX web sites used as experiment substrate.
+
+The flagship site is :class:`~repro.sites.youtube.SyntheticYouTube`
+("SimTube"), a deterministic stand-in for the YouTube subset the thesis
+crawled.  See DESIGN.md §2 for why this substitution preserves the
+behaviour the experiments measure.
+"""
+
+from repro.sites.corpus import (
+    CommentCorpus,
+    PAPER_QUERIES,
+    VideoIdentity,
+    build_query_workload,
+)
+from repro.sites.distributions import CommentPageDistribution
+from repro.sites.queries import WorkloadQuery, full_workload, paper_queries
+from repro.sites.suggest import SyntheticSuggest
+from repro.sites.webmail import AJAX_ROBOTS_PATH, SyntheticWebmail
+from repro.sites.youtube import (
+    COMMENTS_PER_PAGE,
+    SiteConfig,
+    SyntheticYouTube,
+)
+
+__all__ = [
+    "CommentCorpus",
+    "PAPER_QUERIES",
+    "VideoIdentity",
+    "build_query_workload",
+    "CommentPageDistribution",
+    "WorkloadQuery",
+    "full_workload",
+    "paper_queries",
+    "SiteConfig",
+    "SyntheticYouTube",
+    "COMMENTS_PER_PAGE",
+    "SyntheticWebmail",
+    "AJAX_ROBOTS_PATH",
+    "SyntheticSuggest",
+]

@@ -1,0 +1,179 @@
+"""Deterministic text corpus for the synthetic YouTube site.
+
+The thesis crawls real 2008 YouTube comment pages.  We generate a
+statistically similar corpus: user comments built from a filler
+vocabulary, seeded with popular query phrases (Table 7.4) following a
+Zipf-like popularity curve, plus video titles referencing band/topic
+names so the "Morcheeba mysterious video" style of cross-state
+conjunctive query (section 1.1) is answerable.
+
+Everything is keyed by ``(seed, video, page, slot)``, so any comment can
+be regenerated independently and the whole corpus is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Query phrases of Table 7.4, in the paper's popularity order.
+PAPER_QUERIES = (
+    "wow",
+    "dance",
+    "funny",
+    "our song",
+    "sexy can i",
+    "american idol",
+    "kiss",
+    "fight",
+    "no air",
+    "chris brown",
+    "low",
+)
+
+#: Additional topical words used to synthesize the rest of the
+#: 100-query workload and to flavour comments.
+TOPICAL_WORDS = (
+    "music", "video", "song", "live", "concert", "cover", "remix", "album",
+    "band", "singer", "guitar", "drums", "piano", "voice", "lyrics",
+    "amazing", "awesome", "beautiful", "epic", "classic", "legend",
+    "tutorial", "trailer", "movie", "game", "goal", "match", "skate",
+    "prank", "fail", "cute", "cat", "dog", "baby", "laugh",
+    "mysterious", "ride", "enjoy",
+)
+
+#: Filler vocabulary for comment bodies.
+FILLER_WORDS = (
+    "the", "this", "that", "it", "is", "was", "so", "and", "but", "just",
+    "really", "very", "totally", "super", "never", "always", "again",
+    "here", "there", "when", "who", "what", "why", "how", "love", "like",
+    "hate", "watch", "watched", "watching", "listen", "heard", "saw",
+    "first", "best", "worst", "great", "good", "bad", "cool", "nice",
+    "time", "times", "day", "night", "year", "please", "thanks", "check",
+    "out", "new", "old", "one", "two", "three", "every", "people",
+    "friend", "everyone", "nobody", "favorite", "comment", "page",
+    "part", "second", "minute", "beginning", "end", "middle", "full",
+    "version", "quality", "sound", "better", "think", "know", "remember",
+    "forgot", "still", "cannot", "believe", "true", "real", "fake",
+    "original", "official", "channel", "subscribe", "posted", "upload",
+)
+
+#: Band/artist names for video titles.
+BAND_NAMES = (
+    "Morcheeba", "Nightcrawlers", "Velvet Echo", "Glass Harbor",
+    "Paper Lions", "Static Bloom", "Neon Delta", "Crimson Tide",
+    "Silver Arcade", "Hollow Pines", "Electric Fern", "Golden Static",
+)
+
+#: Song/topic names for video titles.
+TITLE_PHRASES = (
+    "Enjoy the Ride", "Midnight Run", "Paper Planes", "Silent Storm",
+    "Falling Slowly", "Northern Lights", "Echoes of Summer",
+    "Broken Compass", "City of Glass", "Last Train Home",
+    "Waves and Wires", "Slow Motion",
+)
+
+
+def build_query_workload(count: int = 100) -> list[str]:
+    """The evaluation's query set: the 11 paper queries first, padded
+    with synthetic single-word and two-word queries up to ``count``."""
+    queries = list(PAPER_QUERIES)
+    rng = random.Random(0xC0FFEE)
+    pool = list(TOPICAL_WORDS)
+    while len(queries) < count:
+        if rng.random() < 0.6:
+            candidate = rng.choice(pool)
+        else:
+            candidate = f"{rng.choice(pool)} {rng.choice(pool)}"
+        if candidate not in queries:
+            queries.append(candidate)
+    return queries[:count]
+
+
+@dataclass(frozen=True)
+class VideoIdentity:
+    """Stable title/description metadata for one video."""
+
+    video_id: str
+    band: str
+    title: str
+
+    @property
+    def full_title(self) -> str:
+        return f"{self.band} - {self.title}"
+
+
+class CommentCorpus:
+    """Generates titles, descriptions and comments deterministically."""
+
+    def __init__(self, seed: int = 7, words_per_comment: tuple[int, int] = (8, 18)) -> None:
+        self.seed = seed
+        self.words_per_comment = words_per_comment
+        self.queries = build_query_workload()
+
+    # -- metadata -------------------------------------------------------------
+
+    def video_identity(self, index: int) -> VideoIdentity:
+        rng = self._rng("identity", index)
+        band = BAND_NAMES[index % len(BAND_NAMES)]
+        title = TITLE_PHRASES[(index // len(BAND_NAMES)) % len(TITLE_PHRASES)]
+        suffix = f" {rng.randint(2, 99)}" if index >= len(BAND_NAMES) * len(TITLE_PHRASES) else ""
+        return VideoIdentity(
+            video_id=f"v{index:05d}",
+            band=band,
+            title=title + suffix,
+        )
+
+    def description(self, index: int) -> str:
+        identity = self.video_identity(index)
+        rng = self._rng("description", index)
+        extras = " ".join(rng.choice(TOPICAL_WORDS) for _ in range(6))
+        return (
+            f"Official video of {identity.band} performing {identity.title}. "
+            f"{extras}."
+        )
+
+    # -- comments --------------------------------------------------------------
+
+    def comment(self, video_index: int, page: int, slot: int) -> str:
+        """The text of comment ``slot`` on comment page ``page``."""
+        rng = self._rng("comment", video_index, page, slot)
+        low, high = self.words_per_comment
+        words = [rng.choice(FILLER_WORDS) for _ in range(rng.randint(low, high))]
+        # Zipf-weighted query phrase injection: rank-k query appears with
+        # probability proportional to 1/(k+1), ~35% of comments carry one.
+        if rng.random() < 0.35:
+            rank = self._zipf_rank(rng, len(self.queries))
+            position = rng.randrange(len(words) + 1)
+            words[position:position] = self.queries[rank].split()
+        # Occasionally reference the video itself (band name / title words),
+        # enabling conjunctions of static and AJAX content (query Q2/Q3).
+        if rng.random() < 0.10:
+            identity = self.video_identity(video_index)
+            words.insert(0, identity.band.lower())
+        if rng.random() < 0.05:
+            words.append("mysterious")
+            words.append("video")
+        return " ".join(words)
+
+    def comment_author(self, video_index: int, page: int, slot: int) -> str:
+        rng = self._rng("author", video_index, page, slot)
+        return f"user{rng.randint(1, 99999)}"
+
+    # -- internals ----------------------------------------------------------------
+
+    def _rng(self, *key: object) -> random.Random:
+        material = "|".join(str(part) for part in (self.seed, *key))
+        return random.Random(material)
+
+    @staticmethod
+    def _zipf_rank(rng: random.Random, size: int) -> int:
+        weights = [1.0 / (rank + 1) for rank in range(size)]
+        total = sum(weights)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for rank, weight in enumerate(weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return rank
+        return size - 1

@@ -1,0 +1,67 @@
+"""Comment-page-count distribution.
+
+Figure 7.1 of the thesis shows the distribution of YouTube videos per
+number of comment pages: most videos have a single page, with a long
+heavy tail.  The fitted mixture below reproduces that shape — mode at 1,
+mean around 4 pages — which in turn drives the state/event growth curves
+of Figure 7.2.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Iterable
+
+#: Head of the distribution: explicit probabilities for 1..5 pages.
+_HEAD = {1: 0.42, 2: 0.16, 3: 0.10, 4: 0.07, 5: 0.05}
+#: The remaining mass follows a geometric tail from 6 pages on.
+_TAIL_START = 6
+_TAIL_DECAY = 0.82
+_MAX_PAGES = 40
+
+
+class CommentPageDistribution:
+    """Samples "number of comment pages" for videos, deterministically."""
+
+    def __init__(self, seed: int = 7, max_pages: int = _MAX_PAGES) -> None:
+        self.seed = seed
+        self.max_pages = max_pages
+        self._weights = self._build_weights(max_pages)
+
+    @staticmethod
+    def _build_weights(max_pages: int) -> list[float]:
+        weights = [0.0] * (max_pages + 1)
+        for pages, probability in _HEAD.items():
+            if pages <= max_pages:
+                weights[pages] = probability
+        tail_mass = 1.0 - sum(weights)
+        raw_tail = [
+            _TAIL_DECAY ** (pages - _TAIL_START)
+            for pages in range(_TAIL_START, max_pages + 1)
+        ]
+        scale = tail_mass / sum(raw_tail) if raw_tail else 0.0
+        for offset, raw in enumerate(raw_tail):
+            weights[_TAIL_START + offset] = raw * scale
+        return weights
+
+    def pages_for(self, video_index: int) -> int:
+        """Comment-page count of video ``video_index`` (stable per seed)."""
+        rng = random.Random(f"{self.seed}|pages|{video_index}")
+        pick = rng.random()
+        cumulative = 0.0
+        for pages in range(1, self.max_pages + 1):
+            cumulative += self._weights[pages]
+            if pick <= cumulative:
+                return pages
+        return self.max_pages
+
+    def histogram(self, video_indexes: Iterable[int]) -> dict[int, int]:
+        """#videos per page count — the data series of Figure 7.1."""
+        return dict(sorted(Counter(self.pages_for(i) for i in video_indexes).items()))
+
+    def mean_pages(self, count: int) -> float:
+        """Empirical mean page count over the first ``count`` videos."""
+        if count <= 0:
+            return 0.0
+        return sum(self.pages_for(i) for i in range(count)) / count

@@ -1,0 +1,45 @@
+"""The evaluation query workload (section 7.5.1, Table 7.4).
+
+The thesis takes the 100 most popular YouTube queries.  We reuse its
+published sample (the 11 queries of Table 7.4) verbatim and synthesize
+the remainder from the site's topical vocabulary so that the workload
+exercises both single keywords and conjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sites.corpus import PAPER_QUERIES, build_query_workload
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query of the evaluation workload."""
+
+    query_id: str
+    text: str
+
+    @property
+    def terms(self) -> tuple[str, ...]:
+        return tuple(self.text.split())
+
+    @property
+    def is_conjunction(self) -> bool:
+        return len(self.terms) > 1
+
+
+def paper_queries() -> list[WorkloadQuery]:
+    """The 11 queries listed in Table 7.4, ids Q1..Q11."""
+    return [
+        WorkloadQuery(query_id=f"Q{rank + 1}", text=text)
+        for rank, text in enumerate(PAPER_QUERIES)
+    ]
+
+
+def full_workload(count: int = 100) -> list[WorkloadQuery]:
+    """The full evaluation workload (paper queries first)."""
+    return [
+        WorkloadQuery(query_id=f"Q{rank + 1}", text=text)
+        for rank, text in enumerate(build_query_workload(count))
+    ]

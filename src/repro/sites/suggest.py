@@ -1,0 +1,80 @@
+"""A Google-Suggest-like AJAX application ("SimSuggest").
+
+Section 4.3 names Google Suggest as the canonical *forms* AJAX app the
+basic crawler cannot handle: content appears only after the user types
+into an input field.  SimSuggest reproduces that structure — a search
+box whose ``onkeyup`` fetches prefix completions over XMLHttpRequest —
+as the substrate for the form-filling crawler extension.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.http import Request, Response, not_found
+from repro.net.server import SimulatedServer
+
+#: The default completion vocabulary (topical, overlaps the workload).
+DEFAULT_VOCABULARY = (
+    "dance music", "dance tutorial", "dance battle",
+    "funny cats", "funny fails", "funny babies",
+    "american idol", "american football",
+    "chris brown", "chris rock",
+    "wow gameplay", "wow guide",
+)
+
+PAGE = """<html>
+<head><title>SimSuggest</title></head>
+<body>
+<h1>SimSuggest</h1>
+<input id="q" type="text" onkeyup="suggest()">
+<div id="suggestions">type to search</div>
+<script>
+function fetchSuggestions(prefix) {
+    var req = new XMLHttpRequest();
+    req.open("GET", "/suggest?q=" + encodeURIComponent(prefix), true);
+    req.send(null);
+    return req.responseText;
+}
+function suggest() {
+    var box = document.getElementById("q");
+    document.getElementById("suggestions").innerHTML = fetchSuggestions(box.value);
+}
+</script>
+</body>
+</html>"""
+
+
+class SyntheticSuggest(SimulatedServer):
+    """SimSuggest: prefix completion behind a form input."""
+
+    def __init__(
+        self,
+        vocabulary: Sequence[str] = DEFAULT_VOCABULARY,
+        base_url: str = "http://simsuggest.test",
+    ) -> None:
+        self.vocabulary = tuple(vocabulary)
+        self.base_url = base_url
+
+    @property
+    def search_url(self) -> str:
+        return f"{self.base_url}/search"
+
+    def completions_for(self, prefix: str) -> list[str]:
+        """Ground truth: completions for ``prefix`` (case-insensitive)."""
+        prefix = prefix.lower()
+        if not prefix:
+            return []
+        return [term for term in self.vocabulary if term.lower().startswith(prefix)]
+
+    def handle(self, request: Request) -> Response:
+        if request.path == "/search":
+            return Response(body=PAGE)
+        if request.path == "/suggest":
+            prefix = request.query.get("q", "")
+            completions = self.completions_for(prefix)
+            if not completions:
+                return Response(body="<p>no suggestions</p>")
+            items = "\n".join(f"<li>{term}</li>" for term in completions)
+            return Response(body=f"<ul>\n{items}\n</ul>")
+        return not_found(request.url)

@@ -1,0 +1,64 @@
+"""Pages with broken scripts must still load and be crawlable."""
+
+from repro.browser import Browser
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler
+from repro.net import Response, RoutedServer
+
+
+def make_browser(body):
+    server = RoutedServer()
+
+    @server.route(r"/page")
+    def page(request, match):
+        return Response(body=body)
+
+    return Browser(server, cost_model=CostModel(network_jitter=0.0)), server
+
+
+BROKEN_THEN_GOOD = """<html><body onload="init()">
+<div id="out">initial</div>
+<script>this is { not javascript</script>
+<script>
+function init() { document.getElementById('out').innerHTML = 'loaded'; }
+</script>
+</body></html>"""
+
+
+class TestScriptErrorTolerance:
+    def test_later_scripts_still_run(self):
+        browser, _ = make_browser(BROKEN_THEN_GOOD)
+        page = browser.load("http://t.test/page")
+        assert "loaded" in page.text
+        assert len(page.script_errors) == 1
+
+    def test_runtime_error_in_script_recorded(self):
+        browser, _ = make_browser(
+            "<html><body><script>callSomethingMissing();</script>"
+            "<script>var ok = 1;</script></body></html>"
+        )
+        page = browser.load("http://t.test/page")
+        assert len(page.script_errors) == 1
+        assert page.interpreter.global_env.get("ok") == 1.0
+
+    def test_failing_onload_recorded(self):
+        browser, _ = make_browser(
+            '<html><body onload="nonexistent()"><p>content</p></body></html>'
+        )
+        page = browser.load("http://t.test/page")
+        assert len(page.script_errors) == 1
+        assert "content" in page.text
+
+    def test_crawler_survives_broken_page(self):
+        browser, server = make_browser(BROKEN_THEN_GOOD)
+        crawler = AjaxCrawler(server, cost_model=CostModel(network_jitter=0.0))
+        result = crawler.crawl(["http://t.test/page"])
+        assert result.failed_urls == []
+        assert result.report.num_pages == 1
+
+    def test_clean_page_has_no_errors(self):
+        browser, _ = make_browser(
+            "<html><body><script>var x = 1;</script></body></html>"
+        )
+        page = browser.load("http://t.test/page")
+        assert page.script_errors == []

@@ -1,0 +1,121 @@
+"""Property-based tests of crawler invariants on randomized AJAX apps.
+
+A parametric tabbed application is generated from a hypothesis-drawn
+spec (tab names and contents, possibly duplicated); the crawler must
+discover exactly the distinct states, keep the transition graph
+consistent, and never exceed its budget — for every generated app.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.net import Response, RoutedServer
+
+tab_contents = st.lists(
+    st.text(alphabet="abcdefgh ", min_size=1, max_size=12).map(str.strip).filter(bool),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_tabbed_app(contents):
+    """A page with one clickable tab per content string."""
+    server = RoutedServer()
+    tabs = "\n".join(
+        f'<a id="tab{i}" onclick="openTab({i})">tab {i}</a>'
+        for i in range(len(contents))
+    )
+
+    @server.route(r"/app")
+    def app(request, match):
+        return Response(
+            body=f"""<html><body>
+            <div id="tabs">{tabs}</div>
+            <div id="content">start</div>
+            <script>
+            function fetchTab(i) {{
+                var req = new XMLHttpRequest();
+                req.open("GET", "/tab?i=" + i, true);
+                req.send(null);
+                return req.responseText;
+            }}
+            function openTab(i) {{
+                document.getElementById("content").innerHTML = fetchTab(i);
+            }}
+            </script>
+            </body></html>"""
+        )
+
+    @server.route(r"/tab")
+    def tab(request, match):
+        index = int(request.query.get("i", "0"))
+        return Response(body=f"<p>{contents[index]}</p>")
+
+    return server
+
+
+@given(tab_contents)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_crawler_discovers_exactly_distinct_states(contents):
+    server = build_tabbed_app(contents)
+    crawler = AjaxCrawler(server, cost_model=CostModel(network_jitter=0.0))
+    result = crawler.crawl_page("http://t.test/app")
+    model = result.model
+    # One state per *distinct* tab content, plus the initial state.
+    assert model.num_states == len(set(contents)) + 1
+    texts = [state.text for state in model.states()]
+    for content in set(contents):
+        assert any(content in text for text in texts)
+
+
+@given(tab_contents)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_transition_graph_is_consistent(contents):
+    server = build_tabbed_app(contents)
+    crawler = AjaxCrawler(server, cost_model=CostModel(network_jitter=0.0))
+    model = crawler.crawl_page("http://t.test/app").model
+    state_ids = {state.state_id for state in model.states()}
+    for transition in model.transitions():
+        assert transition.from_state in state_ids
+        assert transition.to_state in state_ids
+    # Every state is reachable from the initial state by recorded events.
+    for state in model.states():
+        path = model.event_path_to(state.state_id)
+        assert len(path) <= model.num_states
+
+
+@given(tab_contents)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_network_calls_bounded_by_distinct_tabs(contents):
+    """The hot-node cache guarantees one fetch per distinct tab index."""
+    server = build_tabbed_app(contents)
+    crawler = AjaxCrawler(server, cost_model=CostModel(network_jitter=0.0))
+    result = crawler.crawl_page("http://t.test/app")
+    assert result.metrics.ajax_calls <= len(contents)
+
+
+@given(tab_contents, st.integers(min_value=0, max_value=3))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_state_cap_never_exceeded(contents, cap):
+    server = build_tabbed_app(contents)
+    config = CrawlerConfig(max_additional_states=cap)
+    crawler = AjaxCrawler(server, config, cost_model=CostModel(network_jitter=0.0))
+    model = crawler.crawl_page("http://t.test/app").model
+    assert model.num_states <= cap + 1
+
+
+@given(tab_contents)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_crawl_is_deterministic(contents):
+    server = build_tabbed_app(contents)
+    one = AjaxCrawler(server, cost_model=CostModel(network_jitter=0.0)).crawl_page(
+        "http://t.test/app"
+    )
+    two = AjaxCrawler(server, cost_model=CostModel(network_jitter=0.0)).crawl_page(
+        "http://t.test/app"
+    )
+    assert sorted(s.content_hash for s in one.model.states()) == sorted(
+        s.content_hash for s in two.model.states()
+    )
+    assert one.metrics.crawl_time_ms == two.metrics.crawl_time_ms

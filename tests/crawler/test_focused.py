@@ -1,0 +1,108 @@
+"""Tests for focused (profile-guided) AJAX crawling."""
+
+import pytest
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, CrawlerConfig, FocusedAjaxCrawler, InterestProfile
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+@pytest.fixture(scope="module")
+def site():
+    return SyntheticYouTube(SiteConfig(num_videos=30, seed=31))
+
+
+def cost():
+    return CostModel(network_jitter=0.0)
+
+
+class TestInterestProfile:
+    def test_terms_tokenized(self):
+        profile = InterestProfile(["American Idol", "wow"])
+        assert profile.terms == frozenset({"american", "idol", "wow"})
+
+    def test_relevance_fraction(self):
+        profile = InterestProfile(["wow", "dance"])
+        assert profile.relevance("wow what a show") == pytest.approx(0.5)
+        assert profile.relevance("wow dance dance") == pytest.approx(1.0)
+        assert profile.relevance("nothing here") == 0.0
+        assert profile.relevance("") == 0.0
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            InterestProfile([])
+        with pytest.raises(ValueError):
+            InterestProfile(["!!!"])
+
+
+class TestFocusedCrawl:
+    def test_crawls_fewer_or_equal_states(self, site):
+        urls = [site.video_url(i) for i in range(12)]
+        full = AjaxCrawler(site, cost_model=cost()).crawl(urls)
+        focused = FocusedAjaxCrawler(
+            site, InterestProfile(["wow"]), min_relevance=0.0, cost_model=cost()
+        ).crawl(urls)
+        assert focused.report.total_states <= full.report.total_states
+        assert focused.report.total_events <= full.report.total_events
+
+    def test_positive_min_relevance_prunes(self, site):
+        urls = [site.video_url(i) for i in range(12)]
+        full = AjaxCrawler(site, cost_model=cost()).crawl(urls)
+        pruned = FocusedAjaxCrawler(
+            site,
+            InterestProfile(["xylophone zephyr"]),  # matches ~nothing
+            min_relevance=0.0,
+            cost_model=cost(),
+        ).crawl(urls)
+        # With an unmatched profile only depth-0/1 states are reached.
+        assert pruned.report.total_states < full.report.total_states
+        for model in pruned.models:
+            assert all(state.depth <= 1 for state in model.states())
+
+    def test_initial_state_always_expanded(self, site):
+        index = next(
+            i for i in range(30) if site.comment_pages_of(i) >= 3
+        )
+        crawler = FocusedAjaxCrawler(
+            site, InterestProfile(["nomatchword"]), cost_model=cost()
+        )
+        result = crawler.crawl_page(site.video_url(index))
+        # Depth-1 neighbours of the initial state are reached even with
+        # a hopeless profile.
+        assert result.model.num_states >= 2
+
+    def test_best_first_prefers_relevant_states(self, site):
+        """With a tiny state budget, the focused crawl spends it on the
+        profile's content when the full crawl spreads it evenly."""
+        index = next(
+            i for i in range(30) if site.comment_pages_of(i) >= 6
+        )
+        url = site.video_url(index)
+        # Pick a profile word that occurs on a deep comment page.
+        deep_words = site.comment_text(index, 4, 0).split()
+        profile_word = max(deep_words, key=len)
+        config = CrawlerConfig(max_additional_states=4)
+        focused = FocusedAjaxCrawler(
+            site, InterestProfile([profile_word]), config=config, cost_model=cost()
+        )
+        result = focused.crawl_page(url)
+        assert result.model.num_states <= 5
+
+    def test_focused_preserves_profile_recall(self, site):
+        """Focused crawling keeps a larger share of profile results than
+        of arbitrary results — the point of personalization."""
+        from repro.search import SearchEngine
+
+        urls = [site.video_url(i) for i in range(20)]
+        profile_terms = ["wow", "dance", "funny"]
+        full = AjaxCrawler(site, cost_model=cost()).crawl(urls)
+        focused = FocusedAjaxCrawler(
+            site, InterestProfile(profile_terms), min_relevance=0.0, cost_model=cost()
+        ).crawl(urls)
+        full_engine = SearchEngine.build(full.models)
+        focused_engine = SearchEngine.build(focused.models)
+        for term in profile_terms:
+            full_count = full_engine.result_count(term)
+            focused_count = focused_engine.result_count(term)
+            if full_count:
+                assert focused_count / full_count > 0.5

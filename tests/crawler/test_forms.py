@@ -1,0 +1,142 @@
+"""Tests for the form-filling crawler on the SimSuggest application."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, CrawlerConfig, FormFillingAjaxCrawler
+from repro.search import ResultAggregator, SearchEngine
+from repro.sites import SyntheticSuggest
+
+
+@pytest.fixture
+def site():
+    return SyntheticSuggest()
+
+
+def cost():
+    return CostModel(network_jitter=0.0)
+
+
+DICTIONARY = ("dance", "funny", "zzz")
+
+
+class TestSuggestServer:
+    def test_page_serves(self, site):
+        from repro.net import Request
+
+        assert site.handle(Request("GET", site.search_url)).ok
+
+    def test_completions(self, site):
+        assert site.completions_for("dance") == [
+            "dance music", "dance tutorial", "dance battle",
+        ]
+        assert site.completions_for("") == []
+        assert site.completions_for("zzz") == []
+
+    def test_suggest_endpoint(self, site):
+        from repro.net import Request
+
+        body = site.handle(
+            Request("GET", f"{site.base_url}/suggest?q=funny")
+        ).body
+        assert "funny cats" in body
+        none = site.handle(Request("GET", f"{site.base_url}/suggest?q=zzz")).body
+        assert "no suggestions" in none
+
+
+class TestBasicCrawlerCannotSeeSuggestions:
+    def test_no_states_beyond_initial(self, site):
+        """The thesis' limitation: without form input, Suggest-style apps
+        expose nothing to crawl."""
+        crawler = AjaxCrawler(site, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        assert result.model.num_states == 1
+
+
+class TestFormFillingCrawler:
+    def test_probes_dictionary_values(self, site):
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        texts = [state.text for state in result.model.states()]
+        assert any("dance tutorial" in t for t in texts)
+        assert any("funny cats" in t for t in texts)
+        assert any("no suggestions" in t for t in texts)  # the zzz probe
+
+    def test_one_state_per_distinct_result(self, site):
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        # initial + dance + funny + no-suggestions = 4 states...
+        # plus deeper states reached by re-probing from result states.
+        assert result.model.num_states >= 4
+
+    def test_transitions_annotated_with_value(self, site):
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        values = {
+            t.event.input_value
+            for t in result.model.transitions()
+            if t.event.input_value is not None
+        }
+        assert values == set(DICTIONARY)
+
+    def test_model_round_trip_keeps_values(self, site):
+        from repro.model import ApplicationModel
+
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        clone = ApplicationModel.from_dict(result.model.to_dict())
+        values = {
+            t.event.input_value
+            for t in clone.transitions()
+            if t.event.input_value is not None
+        }
+        assert values == set(DICTIONARY)
+
+    def test_search_finds_form_gated_content(self, site):
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        engine = SearchEngine.build([result.model])
+        hits = engine.search("tutorial")
+        assert hits
+        assert hits[0].uri == site.search_url
+
+    def test_result_aggregation_replays_typed_value(self, site):
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        target = next(
+            s for s in result.model.states() if "funny cats" in s.text
+        )
+        aggregator = ResultAggregator(Browser(site, cost_model=cost()))
+        page = aggregator.reconstruct(result.model, target.state_id)
+        assert "funny cats" in page.text
+
+    def test_respects_state_cap(self, site):
+        config = CrawlerConfig(max_additional_states=2)
+        crawler = FormFillingAjaxCrawler(site, DICTIONARY, config, cost_model=cost())
+        result = crawler.crawl_page(site.search_url)
+        assert result.model.num_states <= 3
+
+    def test_non_text_inputs_not_probed(self):
+        from repro.net import Response, RoutedServer
+
+        server = RoutedServer()
+
+        @server.route(r"/page")
+        def page(request, match):
+            return Response(
+                body="""<html><body>
+                <input id="cb" type="checkbox" onchange="toggle()">
+                <div id="out">x</div>
+                <script>function toggle() {
+                    document.getElementById('out').innerHTML = 'toggled';
+                }</script>
+                </body></html>"""
+            )
+
+        crawler = FormFillingAjaxCrawler(server, ("a", "b"), cost_model=cost())
+        result = crawler.crawl_page("http://t.test/page")
+        # The checkbox is not a text input: no value probes were issued.
+        assert all(
+            t.event.input_value is None for t in result.model.transitions()
+        )

@@ -1,0 +1,192 @@
+"""Unit tests for the DOM tree model."""
+
+import pytest
+
+from repro.dom import Document, Element, Text
+from repro.errors import DomError
+
+
+def make_doc():
+    root = Element("html")
+    body = Element("body")
+    root.append_child(body)
+    return Document(root, url="http://example.test/"), body
+
+
+class TestTreeManipulation:
+    def test_append_child_sets_parent(self):
+        parent = Element("div")
+        child = Element("span")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_moves_from_old_parent(self):
+        old = Element("div")
+        new = Element("div")
+        child = Element("span")
+        old.append_child(child)
+        new.append_child(child)
+        assert old.children == []
+        assert new.children == [child]
+        assert child.parent is new
+
+    def test_self_append_rejected(self):
+        element = Element("div")
+        with pytest.raises(DomError):
+            element.append_child(element)
+
+    def test_remove_child(self):
+        parent = Element("div")
+        child = parent.append_child(Element("span"))
+        parent.remove_child(child)
+        assert parent.children == []
+        assert child.parent is None
+
+    def test_remove_non_child_raises(self):
+        with pytest.raises(DomError):
+            Element("div").remove_child(Element("span"))
+
+    def test_insert_before(self):
+        parent = Element("div")
+        second = parent.append_child(Element("b"))
+        first = parent.insert_before(Element("a"), second)
+        assert parent.children == [first, second]
+
+    def test_insert_before_none_appends(self):
+        parent = Element("div")
+        first = parent.append_child(Element("a"))
+        last = parent.insert_before(Element("b"), None)
+        assert parent.children == [first, last]
+
+    def test_insert_before_foreign_reference_raises(self):
+        with pytest.raises(DomError):
+            Element("div").insert_before(Element("a"), Element("x"))
+
+    def test_replace_children(self):
+        parent = Element("div")
+        parent.append_child(Text("old"))
+        fresh = [Text("new"), Element("em")]
+        parent.replace_children(fresh)
+        assert parent.children == fresh
+        assert all(child.parent is parent for child in fresh)
+
+    def test_detach(self):
+        parent = Element("div")
+        child = parent.append_child(Element("span"))
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_detach_without_parent_is_noop(self):
+        Element("div").detach()  # must not raise
+
+
+class TestAttributes:
+    def test_get_set(self):
+        element = Element("div")
+        element.set_attribute("Class", "header")
+        assert element.get_attribute("class") == "header"
+        assert element.get_attribute("CLASS") == "header"
+
+    def test_missing_attribute_is_none(self):
+        assert Element("div").get_attribute("id") is None
+
+    def test_has_and_remove(self):
+        element = Element("div", {"id": "x"})
+        assert element.has_attribute("ID")
+        element.remove_attribute("id")
+        assert not element.has_attribute("id")
+
+    def test_id_property(self):
+        assert Element("div", {"id": "main"}).id == "main"
+        assert Element("div").id is None
+
+    def test_tag_is_lowercased(self):
+        assert Element("DIV").tag == "div"
+
+
+class TestTraversal:
+    def test_iter_descendants_preorder(self):
+        root = Element("div")
+        a = root.append_child(Element("a"))
+        a_text = a.append_child(Text("link"))
+        b = root.append_child(Element("b"))
+        assert list(root.iter_descendants()) == [a, a_text, b]
+
+    def test_get_element_by_id_finds_self(self):
+        element = Element("div", {"id": "me"})
+        assert element.get_element_by_id("me") is element
+
+    def test_get_element_by_id_finds_descendant(self):
+        root = Element("div")
+        inner = Element("span", {"id": "deep"})
+        middle = root.append_child(Element("p"))
+        middle.append_child(inner)
+        assert root.get_element_by_id("deep") is inner
+
+    def test_get_element_by_id_missing(self):
+        assert Element("div").get_element_by_id("nope") is None
+
+    def test_get_elements_by_tag(self):
+        root = Element("div")
+        root.append_child(Element("span"))
+        nested = root.append_child(Element("p"))
+        nested.append_child(Element("span"))
+        assert len(root.get_elements_by_tag("SPAN")) == 2
+
+    def test_find_all_with_predicate(self):
+        root = Element("ul")
+        for index in range(3):
+            root.append_child(Element("li", {"data-i": str(index)}))
+        odd = root.find_all(lambda e: e.get_attribute("data-i") == "1")
+        assert len(odd) == 1
+
+
+class TestTextContent:
+    def test_concatenates_descendant_text(self):
+        root = Element("div")
+        root.append_child(Text("hello "))
+        child = root.append_child(Element("b"))
+        child.append_child(Text("world"))
+        assert root.text_content == "hello world"
+
+    def test_script_content_excluded(self):
+        root = Element("div")
+        script = root.append_child(Element("script"))
+        script.append_child(Text("var x = 1;"))
+        root.append_child(Text("visible"))
+        assert root.text_content == "visible"
+
+
+class TestDocument:
+    def test_body_and_head(self):
+        root = Element("html")
+        head = root.append_child(Element("head"))
+        body = root.append_child(Element("body"))
+        doc = Document(root)
+        assert doc.body is body
+        assert doc.head is head
+
+    def test_body_missing(self):
+        assert Document(Element("html")).body is None
+
+    def test_get_element_by_id(self):
+        doc, body = make_doc()
+        target = body.append_child(Element("div", {"id": "t"}))
+        assert doc.get_element_by_id("t") is target
+
+    def test_owner_document(self):
+        doc, body = make_doc()
+        child = body.append_child(Element("div"))
+        assert child.owner_document is doc
+
+    def test_create_element_is_detached(self):
+        doc, _ = make_doc()
+        element = doc.create_element("div", {"id": "x"})
+        assert element.parent is None
+        assert element.id == "x"
+
+    def test_get_elements_by_tag_includes_root(self):
+        doc, _ = make_doc()
+        assert doc.get_elements_by_tag("html") == [doc.root]

@@ -1,0 +1,70 @@
+"""Unit tests for DOM serialization and the parse/serialize round trip."""
+
+from repro.dom import (
+    Element,
+    Text,
+    escape_attribute,
+    escape_text,
+    inner_html,
+    parse_document,
+    parse_fragment,
+    serialize,
+)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestSerialize:
+    def test_element_with_text(self):
+        element = Element("p")
+        element.append_child(Text("hello"))
+        assert serialize(element) == "<p>hello</p>"
+
+    def test_attributes_sorted(self):
+        element = Element("div", {"id": "x", "class": "y"})
+        assert serialize(element) == '<div class="y" id="x"></div>'
+
+    def test_void_element(self):
+        assert serialize(Element("br")) == "<br/>"
+
+    def test_text_escaped(self):
+        element = Element("p")
+        element.append_child(Text("1 < 2 & 3"))
+        assert serialize(element) == "<p>1 &lt; 2 &amp; 3</p>"
+
+    def test_script_raw(self):
+        element = Element("script")
+        element.append_child(Text("if (a < b) {}"))
+        assert serialize(element) == "<script>if (a < b) {}</script>"
+
+    def test_inner_html_excludes_wrapper(self):
+        element = Element("div")
+        child = element.append_child(Element("em"))
+        child.append_child(Text("x"))
+        assert inner_html(element) == "<em>x</em>"
+
+    def test_document_serialization(self):
+        doc = parse_document("<html><body><p>x</p></body></html>")
+        assert serialize(doc) == "<html><body><p>x</p></body></html>"
+
+
+class TestRoundTrip:
+    CASES = [
+        "<div><span>a</span><span>b</span></div>",
+        '<a href="http://x/?a=1&amp;b=2">link</a>',
+        "<ul><li>1</li><li>2</li><li>3</li></ul>",
+        "<p>caf&#233; ol&#233;</p>",
+        "<script>var x = 1 < 2;</script>",
+    ]
+
+    def test_serialize_parse_serialize_is_stable(self):
+        for case in self.CASES:
+            first = "".join(serialize(node) for node in parse_fragment(case))
+            second = "".join(serialize(node) for node in parse_fragment(first))
+            assert first == second, case

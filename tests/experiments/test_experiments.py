@@ -1,0 +1,122 @@
+"""Small-scale tests of the experiment runners (shapes, not magnitudes)."""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.exp_caching import caching_study
+from repro.experiments.exp_crawl import linearity_correlation, table_7_2
+from repro.experiments.exp_dataset import figure_7_1, figure_7_2, table_7_1
+from repro.experiments.exp_query import table_7_4
+from repro.experiments.exp_threshold import (
+    crawl_threshold,
+    recall_threshold,
+    threshold_study,
+)
+from repro.experiments.harness import format_table
+
+SMALL = 40
+
+
+class TestDatasetExperiments:
+    def test_table_7_1_small(self):
+        stats = table_7_1(num_videos=SMALL)
+        assert stats.num_pages == SMALL
+        assert stats.total_states >= SMALL
+        assert stats.total_events >= stats.total_states - SMALL
+        assert 0 <= stats.events_leading_to_network <= stats.total_events
+        assert stats.network_reduction > 0.3
+
+    def test_figure_7_1_sums(self):
+        histogram = figure_7_1(num_videos=SMALL)
+        assert sum(histogram.values()) == SMALL
+
+    def test_figure_7_2_prefix_sums(self):
+        points = figure_7_2(subset_sizes=(10, 20, 30))
+        assert [p.videos for p in points] == [10, 20, 30]
+        assert points[0].states <= points[1].states <= points[2].states
+
+
+class TestCrawlExperiments:
+    def test_table_7_2_ratios(self):
+        overhead = table_7_2(num_videos=SMALL)
+        assert overhead.total.ratio > 1.5
+        assert overhead.per_state.ratio < overhead.per_page.ratio
+
+    def test_linearity_correlation_bounds(self):
+        from repro.experiments.exp_crawl import StateTimePoint
+
+        linear = [
+            StateTimePoint(states=k, pages=1, mean_crawl_time_ms=100.0 * k,
+                           mean_processing_time_ms=50.0 * k)
+            for k in range(1, 6)
+        ]
+        assert linearity_correlation(linear) == pytest.approx(1.0)
+        assert linearity_correlation(linear[:1]) == 1.0
+
+
+class TestCachingExperiments:
+    def test_caching_points(self):
+        points = caching_study(subset_sizes=(10, 20))
+        assert [p.videos for p in points] == [10, 20]
+        for point in points:
+            assert point.calls_with_cache <= point.calls_without_cache
+            assert point.network_ms_with_cache <= point.network_ms_without_cache
+            assert point.throughput_with_cache >= point.throughput_without_cache
+
+
+class TestQueryExperiments:
+    def test_table_7_4_rows(self):
+        rows = table_7_4(num_videos=60)
+        assert len(rows) == 11
+        assert all(row.all_pages >= row.first_page for row in rows)
+
+
+class TestThresholdExperiments:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return threshold_study(num_videos=60, query_count=30, repeats=1)
+
+    def test_eleven_depths(self, points):
+        assert [p.states for p in points] == list(range(1, 12))
+
+    def test_recall_gain_monotone(self, points):
+        gains = [p.recall_gain for p in points]
+        assert gains[0] == 0.0
+        assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_thresholds_in_range(self, points):
+        assert 1 <= crawl_threshold(points, limit=0.4) <= 11
+        assert 1 <= recall_threshold(points, target=0.7) <= 11
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Bee"], [(1, 2.5), ("xx", 1000.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        from repro.experiments.harness import _cell
+
+        assert _cell(0.0) == "0"
+        assert _cell(1234.5) == "1,234"
+        assert _cell(12.34) == "12.3"
+        assert _cell(0.1234) == "0.123"
+        assert _cell("text") == "text"
+
+
+class TestDatasetCaching:
+    def test_memoization_returns_same_object(self):
+        one = datasets.crawl_ajax(10)
+        two = datasets.crawl_ajax(10)
+        assert one is two
+
+    def test_different_configs_differ(self):
+        cached = datasets.crawl_ajax(10, use_hot_node=True)
+        plain = datasets.crawl_ajax(10, use_hot_node=False)
+        assert cached is not plain
+        assert (
+            plain.report.total_ajax_calls >= cached.report.total_ajax_calls
+        )

@@ -1,0 +1,182 @@
+"""Tests for the extended control flow: do-while, switch, throw/try."""
+
+import pytest
+
+from repro.errors import JsSyntaxError
+from repro.js import Interpreter, JsThrownValue
+
+
+@pytest.fixture
+def interp():
+    return Interpreter()
+
+
+class TestDoWhile:
+    def test_runs_body_at_least_once(self, interp):
+        assert interp.run("var n = 0; do { n++; } while (false); n;") == 1.0
+
+    def test_loops_until_false(self, interp):
+        assert interp.run("var n = 0; do { n++; } while (n < 5); n;") == 5.0
+
+    def test_break(self, interp):
+        assert interp.run("var n = 0; do { n++; if (n == 3) break; } while (true); n;") == 3.0
+
+    def test_continue_reevaluates_test(self, interp):
+        source = """
+        var n = 0; var s = 0;
+        do { n++; if (n % 2) continue; s += n; } while (n < 6);
+        s;
+        """
+        assert interp.run(source) == 12.0  # 2 + 4 + 6
+
+
+class TestSwitch:
+    def test_matching_case(self, interp):
+        source = """
+        function f(x) {
+            switch (x) {
+                case 1: return 'one';
+                case 2: return 'two';
+                default: return 'many';
+            }
+        }
+        f(2);
+        """
+        assert interp.run(source) == "two"
+
+    def test_default_clause(self, interp):
+        source = """
+        function f(x) {
+            switch (x) { case 1: return 'one'; default: return 'other'; }
+        }
+        f(42);
+        """
+        assert interp.run(source) == "other"
+
+    def test_fall_through(self, interp):
+        source = """
+        var log = [];
+        switch (1) {
+            case 1: log.push('a');
+            case 2: log.push('b'); break;
+            case 3: log.push('c');
+        }
+        log.join('');
+        """
+        assert interp.run(source) == "ab"
+
+    def test_break_stops_fall_through(self, interp):
+        source = """
+        var log = [];
+        switch (1) { case 1: log.push('a'); break; case 2: log.push('b'); }
+        log.join('');
+        """
+        assert interp.run(source) == "a"
+
+    def test_strict_matching(self, interp):
+        source = """
+        var hit = 'none';
+        switch ('1') { case 1: hit = 'number'; break; default: hit = 'default'; }
+        hit;
+        """
+        assert interp.run(source) == "default"
+
+    def test_default_fall_through(self, interp):
+        source = """
+        var log = [];
+        switch (9) {
+            case 1: log.push('a'); break;
+            default: log.push('d');
+            case 2: log.push('b');
+        }
+        log.join('');
+        """
+        assert interp.run(source) == "db"
+
+    def test_no_match_no_default(self, interp):
+        assert interp.run("switch (5) { case 1: var x = 1; } 'done';") == "done"
+
+    def test_duplicate_default_rejected(self, interp):
+        with pytest.raises(JsSyntaxError):
+            interp.run("switch (1) { default: break; default: break; }")
+
+
+class TestThrowTryCatch:
+    def test_throw_caught(self, interp):
+        source = """
+        var msg = '';
+        try { throw 'boom'; } catch (e) { msg = e; }
+        msg;
+        """
+        assert interp.run(source) == "boom"
+
+    def test_uncaught_throw_raises(self, interp):
+        with pytest.raises(JsThrownValue) as info:
+            interp.run("throw 'unhandled';")
+        assert info.value.value == "unhandled"
+
+    def test_throw_object(self, interp):
+        source = """
+        var code = 0;
+        try { throw {code: 42}; } catch (e) { code = e.code; }
+        code;
+        """
+        assert interp.run(source) == 42.0
+
+    def test_finally_always_runs(self, interp):
+        source = """
+        var log = [];
+        try { log.push('t'); throw 'x'; } catch (e) { log.push('c'); }
+        finally { log.push('f'); }
+        log.join('');
+        """
+        assert interp.run(source) == "tcf"
+
+    def test_finally_without_catch(self, interp):
+        source = """
+        var ran = false;
+        function f() {
+            try { throw 'x'; } finally { ran = true; }
+        }
+        var caught = false;
+        try { f(); } catch (e) { caught = true; }
+        [ran, caught].join(',');
+        """
+        assert interp.run(source) == "true,true"
+
+    def test_runtime_errors_catchable(self, interp):
+        source = """
+        var saw = false;
+        try { undefinedFunctionCall(); } catch (e) { saw = true; }
+        saw;
+        """
+        assert interp.run(source) is True
+
+    def test_type_errors_catchable(self, interp):
+        source = """
+        var saw = false;
+        try { var u; u.property; } catch (e) { saw = true; }
+        saw;
+        """
+        assert interp.run(source) is True
+
+    def test_try_without_handler_rejected(self, interp):
+        with pytest.raises(JsSyntaxError):
+            interp.run("try { var x = 1; }")
+
+    def test_throw_propagates_through_calls(self, interp):
+        source = """
+        function deep() { throw 'from-deep'; }
+        function middle() { deep(); }
+        var got = '';
+        try { middle(); } catch (e) { got = e; }
+        got;
+        """
+        assert interp.run(source) == "from-deep"
+
+    def test_step_limit_not_catchable(self):
+        from repro.js import JsStepLimitError
+
+        interp = Interpreter(max_steps=5_000)
+        with pytest.raises(JsStepLimitError):
+            interp.run("try { while (true) {} } catch (e) {}")

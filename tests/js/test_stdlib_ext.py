@@ -1,0 +1,121 @@
+"""Tests for the extended JS standard library (arrays, strings, JSON)."""
+
+import math
+
+import pytest
+
+from repro.errors import JsRuntimeError, JsTypeError
+from repro.js import Interpreter
+
+
+@pytest.fixture
+def interp():
+    return Interpreter()
+
+
+class TestArrayMethods:
+    def test_shift_unshift(self, interp):
+        assert interp.run("var a = [1, 2, 3]; a.shift();") == 1.0
+        assert interp.run("var b = [2]; b.unshift(0, 1); b.join(',');") == "0,1,2"
+
+    def test_shift_empty(self, interp):
+        from repro.js import UNDEFINED
+
+        assert interp.run("[].shift();") is UNDEFINED
+
+    def test_reverse_in_place(self, interp):
+        assert interp.run("var a = [1, 2, 3]; a.reverse(); a.join(',');") == "3,2,1"
+
+    def test_sort_default_lexicographic(self, interp):
+        assert interp.run("[10, 2, 1].sort().join(',');") == "1,10,2"
+
+    def test_sort_with_comparator(self, interp):
+        source = "[10, 2, 1].sort(function (a, b) { return a - b; }).join(',');"
+        assert interp.run(source) == "1,2,10"
+
+    def test_map(self, interp):
+        assert interp.run("[1, 2, 3].map(function (x) { return x * 2; }).join(',');") == "2,4,6"
+
+    def test_map_gets_index(self, interp):
+        assert interp.run("['a', 'b'].map(function (x, i) { return i; }).join(',');") == "0,1"
+
+    def test_filter(self, interp):
+        assert interp.run("[1, 2, 3, 4].filter(function (x) { return x % 2 == 0; }).join(',');") == "2,4"
+
+    def test_for_each(self, interp):
+        source = "var s = 0; [1, 2, 3].forEach(function (x) { s += x; }); s;"
+        assert interp.run(source) == 6.0
+
+    def test_map_requires_function(self, interp):
+        with pytest.raises(JsTypeError):
+            interp.run("[1].map(42);")
+
+
+class TestStringMethods:
+    def test_char_code_at(self, interp):
+        assert interp.run("'A'.charCodeAt(0);") == 65.0
+        assert math.isnan(interp.run("'A'.charCodeAt(5);"))
+
+    def test_starts_ends_includes(self, interp):
+        assert interp.run("'comment page'.startsWith('comment');") is True
+        assert interp.run("'comment page'.endsWith('page');") is True
+        assert interp.run("'comment page'.includes('ment pa');") is True
+        assert interp.run("'comment page'.includes('xyz');") is False
+
+    def test_repeat(self, interp):
+        assert interp.run("'ab'.repeat(3);") == "ababab"
+        assert interp.run("'ab'.repeat(0);") == ""
+
+
+class TestJson:
+    def test_parse_object(self, interp):
+        assert interp.run("JSON.parse('{\"a\": 1, \"b\": [true, null]}').a;") == 1.0
+        assert interp.run("JSON.parse('{\"b\": [true, null]}').b[0];") is True
+        assert interp.run("JSON.parse('{\"b\": [true, null]}').b[1];") is None
+
+    def test_parse_array(self, interp):
+        assert interp.run("JSON.parse('[1, 2, 3]').length;") == 3.0
+
+    def test_parse_scalar(self, interp):
+        assert interp.run("JSON.parse('42');") == 42.0
+        assert interp.run("JSON.parse('\"x\"');") == "x"
+
+    def test_parse_invalid_raises(self, interp):
+        with pytest.raises(JsRuntimeError):
+            interp.run("JSON.parse('{nope');")
+
+    def test_parse_error_catchable(self, interp):
+        source = """
+        var ok = false;
+        try { JSON.parse('{bad'); } catch (e) { ok = true; }
+        ok;
+        """
+        assert interp.run(source) is True
+
+    def test_stringify_round_trip(self, interp):
+        source = """
+        var obj = {name: 'video', tags: ['a', 'b'], views: 12};
+        JSON.parse(JSON.stringify(obj)).tags[1];
+        """
+        assert interp.run(source) == "b"
+
+    def test_stringify_integers_clean(self, interp):
+        assert interp.run("JSON.stringify([1, 2]);") == "[1, 2]"
+
+    def test_json_powered_page_script(self, interp):
+        """The realistic use: a fragment endpoint returning JSON."""
+        from repro.js import NativeFunction
+
+        interp.define_global(
+            "fakeFetch",
+            NativeFunction(
+                "fakeFetch",
+                lambda i, t, a: '{"comments": ["first", "second"], "page": 2}',
+            ),
+        )
+        source = """
+        var data = JSON.parse(fakeFetch());
+        data.comments.map(function (c) { return c.toUpperCase(); }).join('|')
+            + '#' + data.page;
+        """
+        assert interp.run(source) == "FIRST|SECOND#2"

@@ -1,0 +1,165 @@
+"""Unit tests for JS value semantics and conversions."""
+
+import math
+
+import pytest
+
+from repro.errors import JsTypeError
+from repro.js import (
+    JSArray,
+    JSObject,
+    NativeFunction,
+    UNDEFINED,
+    is_callable,
+    is_truthy,
+    to_number,
+    to_string,
+    type_of,
+)
+from repro.js.values import HostConstructor, HostObject, JSFunction
+
+
+class TestUndefined:
+    def test_singleton(self):
+        from repro.js.values import _Undefined
+
+        assert _Undefined() is UNDEFINED
+
+    def test_falsy(self):
+        assert not UNDEFINED
+        assert repr(UNDEFINED) == "undefined"
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize(
+        "value", [UNDEFINED, None, False, 0, 0.0, "", float("nan")]
+    )
+    def test_falsy_values(self, value):
+        assert is_truthy(value) is False
+
+    @pytest.mark.parametrize(
+        "value", [True, 1, -1, 0.5, "x", "0", JSObject(), JSArray()]
+    )
+    def test_truthy_values(self, value):
+        assert is_truthy(value) is True
+
+
+class TestToNumber:
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_null_and_undefined(self):
+        assert to_number(None) == 0.0
+        assert math.isnan(to_number(UNDEFINED))
+
+    def test_strings(self):
+        assert to_number("42") == 42.0
+        assert to_number("  3.5  ") == 3.5
+        assert to_number("") == 0.0
+        assert to_number("0x10") == 16.0
+        assert math.isnan(to_number("abc"))
+
+    def test_objects_are_nan(self):
+        assert math.isnan(to_number(JSObject()))
+
+
+class TestToString:
+    def test_primitives(self):
+        assert to_string(UNDEFINED) == "undefined"
+        assert to_string(None) == "null"
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_numbers(self):
+        assert to_string(42.0) == "42"
+        assert to_string(2.5) == "2.5"
+        assert to_string(-0.0) == "0"
+        assert to_string(float("nan")) == "NaN"
+        assert to_string(float("inf")) == "Infinity"
+        assert to_string(float("-inf")) == "-Infinity"
+
+    def test_array_joins_with_commas(self):
+        assert to_string(JSArray([1.0, "a", None])) == "1,a,null"
+
+    def test_object(self):
+        assert to_string(JSObject()) == "[object Object]"
+
+    def test_functions(self):
+        native = NativeFunction("f", lambda i, t, a: None)
+        assert "function f" in to_string(native)
+
+    def test_host_object(self):
+        class Custom(HostObject):
+            host_class = "Widget"
+
+        assert to_string(Custom()) == "[object Widget]"
+
+
+class TestTypeOf:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (UNDEFINED, "undefined"),
+            (None, "object"),
+            (True, "boolean"),
+            (1.5, "number"),
+            ("x", "string"),
+            (JSObject(), "object"),
+            (JSArray(), "object"),
+            (NativeFunction("f", lambda i, t, a: None), "function"),
+            (HostConstructor("C", lambda i, a: None), "function"),
+        ],
+    )
+    def test_typeof(self, value, expected):
+        assert type_of(value) == expected
+
+
+class TestJSObject:
+    def test_get_set_delete(self):
+        obj = JSObject()
+        assert obj.get("missing") is UNDEFINED
+        obj.set("k", 1.0)
+        assert obj.get("k") == 1.0
+        assert obj.delete("k") is True
+        assert obj.delete("k") is False
+
+    def test_keys_in_insertion_order(self):
+        obj = JSObject()
+        obj.set("b", 1)
+        obj.set("a", 2)
+        assert obj.keys() == ["b", "a"]
+
+
+class TestJSArray:
+    def test_index_semantics(self):
+        array = JSArray([1.0, 2.0])
+        assert array.get_index(0) == 1.0
+        assert array.get_index(5) is UNDEFINED
+        array.set_index(4, "x")
+        assert array.length == 5
+        assert array.get_index(3) is UNDEFINED
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(JsTypeError):
+            JSArray().set_index(-1, 0)
+
+
+class TestCallability:
+    def test_is_callable(self):
+        from repro.js import parse_program
+        from repro.js.environment import Environment
+
+        assert is_callable(NativeFunction("f", lambda i, t, a: None))
+        assert is_callable(HostConstructor("C", lambda i, a: None))
+        body = parse_program("function f() {}").body[0].body
+        assert is_callable(JSFunction("f", [], body, Environment()))
+        assert not is_callable(JSObject())
+        assert not is_callable("string")
+
+    def test_host_object_defaults(self):
+        host = HostObject()
+        assert host.js_get("anything") is UNDEFINED
+        assert host.js_keys() == []
+        with pytest.raises(JsTypeError):
+            host.js_set("x", 1)

@@ -1,0 +1,59 @@
+"""Tests for the DOT export of application models."""
+
+from repro.model import ApplicationModel, EventAnnotation
+
+
+def small_model():
+    model = ApplicationModel("u")
+    s0, _ = model.add_state("h0", "first comment page text")
+    s1, _ = model.add_state("h1", "second comment page text")
+    model.add_transition(s0, s1, EventAnnotation("#next", "onclick", "nextPage()"))
+    model.add_transition(s1, s0, EventAnnotation("#prev", "onclick", "prevPage()"))
+    return model
+
+
+class TestToDot:
+    def test_valid_digraph_structure(self):
+        dot = small_model().to_dot()
+        assert dot.startswith("digraph app_model {")
+        assert dot.endswith("}")
+
+    def test_all_states_present(self):
+        dot = small_model().to_dot()
+        assert "s0 [shape=doublecircle" in dot
+        assert "s1 [shape=circle" in dot
+
+    def test_edges_labelled_with_handlers(self):
+        dot = small_model().to_dot()
+        assert 's0 -> s1 [label="nextPage()"];' in dot
+        assert 's1 -> s0 [label="prevPage()"];' in dot
+
+    def test_labels_truncated(self):
+        model = ApplicationModel("u")
+        model.add_state("h", "word " * 50)
+        dot = model.to_dot(max_label_length=10)
+        label = [line for line in dot.splitlines() if "s0 [" in line][0]
+        assert "word word " in label
+        assert "word word word word word word" not in label
+
+    def test_quotes_escaped_in_handlers(self):
+        model = ApplicationModel("u")
+        s0, _ = model.add_state("h0", "a")
+        s1, _ = model.add_state("h1", "b")
+        model.add_transition(
+            s0, s1, EventAnnotation("#x", "onclick", 'open("tab")')
+        )
+        dot = model.to_dot()
+        assert "open('tab')" in dot
+
+    def test_crawled_model_exports(self):
+        from repro.clock import CostModel
+        from repro.crawler import AjaxCrawler
+        from repro.sites import SiteConfig, SyntheticYouTube
+
+        site = SyntheticYouTube(SiteConfig(num_videos=5, seed=3))
+        index = next(i for i in range(5) if site.comment_pages_of(i) >= 2)
+        crawler = AjaxCrawler(site, cost_model=CostModel(network_jitter=0.0))
+        model = crawler.crawl_page(site.video_url(index)).model
+        dot = model.to_dot()
+        assert dot.count("->") == model.num_transitions

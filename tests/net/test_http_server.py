@@ -1,0 +1,102 @@
+"""Unit tests for request/response types and simulated servers."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    Request,
+    Response,
+    RoutedServer,
+    StatelessnessChecker,
+    StaticServer,
+)
+
+
+class TestRequest:
+    def test_path_extraction(self):
+        assert Request("GET", "http://x.test/watch?v=1").path == "/watch"
+
+    def test_query_parsing(self):
+        request = Request("GET", "http://x.test/c?v=abc&p=2")
+        assert request.query == {"v": "abc", "p": "2"}
+
+    def test_empty_query(self):
+        assert Request("GET", "http://x.test/").query == {}
+
+
+class TestResponse:
+    def test_ok(self):
+        assert Response(status=200).ok
+        assert Response(status=204).ok
+        assert not Response(status=404).ok
+
+    def test_body_bytes(self):
+        assert Response(body="abcd").body_bytes == 4
+        assert Response(body="é").body_bytes == 2  # UTF-8
+
+
+class TestStaticServer:
+    def test_serves_registered_page(self):
+        server = StaticServer({"http://x.test/a": "<p>A</p>"})
+        response = server.handle(Request("GET", "http://x.test/a"))
+        assert response.ok
+        assert response.body == "<p>A</p>"
+
+    def test_unknown_url_is_404(self):
+        server = StaticServer()
+        assert server.handle(Request("GET", "http://x.test/nope")).status == 404
+
+    def test_add_page(self):
+        server = StaticServer()
+        server.add_page("http://x.test/b", "B")
+        assert server.handle(Request("GET", "http://x.test/b")).body == "B"
+
+
+class TestRoutedServer:
+    def make(self):
+        server = RoutedServer()
+
+        @server.route(r"/watch")
+        def watch(request, match):
+            return Response(body=f"video {request.query.get('v', '?')}")
+
+        @server.route(r"/comments")
+        def comments(request, match):
+            return Response(body=f"page {request.query.get('p', '1')}")
+
+        return server
+
+    def test_dispatch_by_path(self):
+        server = self.make()
+        assert server.handle(Request("GET", "http://y.test/watch?v=9")).body == "video 9"
+        assert server.handle(Request("GET", "http://y.test/comments?p=3")).body == "page 3"
+
+    def test_unmatched_path_is_404(self):
+        assert self.make().handle(Request("GET", "http://y.test/other")).status == 404
+
+
+class TestStatelessnessChecker:
+    class FlakyServer(StaticServer):
+        def __init__(self):
+            super().__init__()
+            self.counter = 0
+
+        def handle(self, request):
+            self.counter += 1
+            return Response(body=f"call {self.counter}")
+
+    def test_consistent_server_passes(self):
+        checker = StatelessnessChecker(StaticServer({"u": "same"}))
+        checker.handle(Request("GET", "u"))
+        checker.handle(Request("GET", "u"))  # must not raise
+
+    def test_changing_response_detected(self):
+        checker = StatelessnessChecker(self.FlakyServer())
+        checker.handle(Request("GET", "u"))
+        with pytest.raises(NetworkError):
+            checker.handle(Request("GET", "u"))
+
+    def test_different_urls_not_conflated(self):
+        checker = StatelessnessChecker(StaticServer({"a": "A", "b": "B"}))
+        checker.handle(Request("GET", "a"))
+        checker.handle(Request("GET", "b"))  # must not raise

@@ -1,0 +1,108 @@
+"""Tests for the latency distribution models."""
+
+import statistics
+
+import pytest
+
+from repro.clock import CostModel, SimClock
+from repro.net import (
+    ConstantLatency,
+    LognormalLatency,
+    NetworkGateway,
+    SpikyLatency,
+    StaticServer,
+    UniformJitter,
+)
+
+
+class TestConstantLatency:
+    def test_always_same(self):
+        dist = ConstantLatency(1.5)
+        assert [dist.sample() for _ in range(5)] == [1.5] * 5
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0)
+
+
+class TestUniformJitter:
+    def test_bounds(self):
+        dist = UniformJitter(spread=0.3, seed=1)
+        samples = [dist.sample() for _ in range(500)]
+        assert all(0.7 <= s <= 1.3 for s in samples)
+
+    def test_deterministic_under_seed(self):
+        one = UniformJitter(seed=9)
+        two = UniformJitter(seed=9)
+        assert [one.sample() for _ in range(10)] == [two.sample() for _ in range(10)]
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            UniformJitter(spread=1.0)
+
+
+class TestLognormalLatency:
+    def test_positive(self):
+        dist = LognormalLatency(sigma=0.8, seed=2)
+        assert all(dist.sample() > 0 for _ in range(500))
+
+    def test_heavy_tail(self):
+        """The lognormal produces rare large factors a uniform cannot."""
+        dist = LognormalLatency(sigma=0.8, seed=2)
+        samples = [dist.sample() for _ in range(2000)]
+        assert max(samples) > 3.0
+        assert statistics.median(samples) == pytest.approx(1.0, abs=0.2)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(sigma=0)
+
+
+class TestSpikyLatency:
+    def test_mostly_fast(self):
+        dist = SpikyLatency(spike_probability=0.1, spike_factor=5.0, seed=3)
+        samples = [dist.sample() for _ in range(1000)]
+        spikes = sum(1 for s in samples if s == 5.0)
+        assert 40 < spikes < 200
+        assert all(s in (1.0, 5.0) for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpikyLatency(spike_probability=2.0)
+        with pytest.raises(ValueError):
+            SpikyLatency(spike_factor=-1)
+
+
+class TestCostModelIntegration:
+    def test_distribution_overrides_jitter(self):
+        model = CostModel(latency_distribution=ConstantLatency(2.0))
+        latency = model.network_latency_ms("ajax", body_bytes=0)
+        assert latency == pytest.approx(model.ajax_call_ms * 2.0)
+
+    def test_gateway_uses_distribution(self):
+        clock = SimClock()
+        model = CostModel(latency_distribution=ConstantLatency(1.0))
+        gateway = NetworkGateway(StaticServer({"u": ""}), clock, model)
+        gateway.ajax_request("GET", "u")
+        assert clock.now_ms == pytest.approx(model.ajax_call_ms)
+
+    def test_heavy_tail_spreads_crawl_times(self):
+        """A spiky network widens the per-page crawl-time distribution
+        (the Figure 7.3 sensitivity the latency models exist for)."""
+        from repro.crawler import AjaxCrawler
+        from repro.sites import SiteConfig, SyntheticYouTube
+
+        site = SyntheticYouTube(SiteConfig(num_videos=12, seed=5))
+        urls = [site.video_url(i) for i in range(12)]
+        flat = AjaxCrawler(
+            site, cost_model=CostModel(latency_distribution=ConstantLatency(1.0))
+        ).crawl(urls)
+        spiky = AjaxCrawler(
+            site,
+            cost_model=CostModel(
+                latency_distribution=SpikyLatency(spike_probability=0.3, spike_factor=10.0)
+            ),
+        ).crawl(urls)
+        flat_times = [p.crawl_time_ms for p in flat.report.pages]
+        spiky_times = [p.crawl_time_ms for p in spiky.report.pages]
+        assert statistics.pstdev(spiky_times) > statistics.pstdev(flat_times)

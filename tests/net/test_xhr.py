@@ -1,0 +1,150 @@
+"""Tests for the XMLHttpRequest host object and its hot-call hooks."""
+
+import pytest
+
+from repro.clock import CostModel, SimClock
+from repro.errors import NetworkError
+from repro.js import Interpreter
+from repro.net import NetworkGateway, StaticServer, make_xhr_constructor
+from repro.net.xhr import HotCallPolicy
+
+
+def make_interp(pages, policy=None, observer=None, base_url="http://s/"):
+    clock = SimClock()
+    gateway = NetworkGateway(StaticServer(pages), clock, CostModel(network_jitter=0.0))
+    interp = Interpreter()
+    interp.define_global(
+        "XMLHttpRequest",
+        make_xhr_constructor(gateway, base_url=base_url, policy=policy, observer=observer),
+    )
+    return interp, gateway
+
+
+FETCH_SCRIPT = """
+function getUrl(url, async) {
+    var req = new XMLHttpRequest();
+    req.open("GET", url, async);
+    req.send(null);
+    return req.responseText;
+}
+"""
+
+
+class DictPolicy(HotCallPolicy):
+    def __init__(self):
+        self.cache = {}
+        self.stored = []
+
+    def lookup(self, signature):
+        return self.cache.get(signature)
+
+    def store(self, signature, response_body):
+        self.cache[signature] = response_body
+        self.stored.append(signature)
+
+
+class TestBasicXhr:
+    def test_fetch_returns_response_text(self):
+        interp, _ = make_interp({"http://s/data": "payload"})
+        interp.run(FETCH_SCRIPT)
+        assert interp.eval_expression("getUrl('http://s/data', true)") == "payload"
+
+    def test_relative_url_resolved_against_base(self):
+        interp, _ = make_interp({"http://s/comments?p=2": "page2"}, base_url="http://s/watch")
+        interp.run(FETCH_SCRIPT)
+        assert interp.eval_expression("getUrl('/comments?p=2', true)") == "page2"
+
+    def test_status_and_ready_state(self):
+        interp, _ = make_interp({"http://s/x": "ok"})
+        result = interp.run(
+            FETCH_SCRIPT
+            + """
+            var r = new XMLHttpRequest();
+            r.open('GET', 'http://s/x', true);
+            r.send(null);
+            [r.status, r.readyState];
+            """
+        )
+        assert result.elements == [200.0, 4.0]
+
+    def test_send_before_open_raises(self):
+        interp, _ = make_interp({})
+        with pytest.raises(NetworkError):
+            interp.run("var r = new XMLHttpRequest(); r.send(null);")
+
+    def test_each_call_counts_in_stats(self):
+        interp, gateway = make_interp({"http://s/a": "x"})
+        interp.run(FETCH_SCRIPT)
+        interp.eval_expression("getUrl('http://s/a', true)")
+        interp.eval_expression("getUrl('http://s/a', true)")
+        assert gateway.stats.ajax_calls == 2
+
+
+class TestHotCallPolicy:
+    def test_miss_then_hit(self):
+        policy = DictPolicy()
+        interp, gateway = make_interp({"http://s/c?p=2": "page two"}, policy=policy)
+        interp.run(FETCH_SCRIPT)
+        first = interp.eval_expression("getUrl('http://s/c?p=2', true)")
+        second = interp.eval_expression("getUrl('http://s/c?p=2', true)")
+        assert first == second == "page two"
+        assert gateway.stats.ajax_calls == 1
+        assert gateway.stats.cached_hits == 1
+
+    def test_signature_is_hot_function_with_args(self):
+        policy = DictPolicy()
+        interp, _ = make_interp({"http://s/c?p=2": "x"}, policy=policy)
+        interp.run(FETCH_SCRIPT)
+        interp.eval_expression("getUrl('http://s/c?p=2', true)")
+        assert policy.stored == ["getUrl(http://s/c?p=2, true)"]
+
+    def test_different_arguments_are_different_hot_calls(self):
+        policy = DictPolicy()
+        interp, gateway = make_interp(
+            {"http://s/c?p=2": "two", "http://s/c?p=3": "three"}, policy=policy
+        )
+        interp.run(FETCH_SCRIPT)
+        interp.eval_expression("getUrl('http://s/c?p=2', true)")
+        interp.eval_expression("getUrl('http://s/c?p=3', true)")
+        assert gateway.stats.ajax_calls == 2
+        assert gateway.stats.cached_hits == 0
+
+    def test_cached_call_does_not_touch_network(self):
+        policy = DictPolicy()
+        policy.cache["getUrl(http://s/never, true)"] = "from cache"
+        interp, gateway = make_interp({}, policy=policy)
+        interp.run(FETCH_SCRIPT)
+        assert interp.eval_expression("getUrl('http://s/never', true)") == "from cache"
+        assert gateway.stats.ajax_calls == 0
+
+    def test_error_responses_not_cached(self):
+        policy = DictPolicy()
+        interp, gateway = make_interp({}, policy=policy)  # everything 404s
+        interp.run(FETCH_SCRIPT)
+        interp.eval_expression("getUrl('http://s/missing', true)")
+        assert policy.cache == {}
+
+    def test_toplevel_send_uses_fallback_signature(self):
+        policy = DictPolicy()
+        interp, _ = make_interp({"http://s/x": "ok"}, policy=policy)
+        interp.run(
+            "var r = new XMLHttpRequest(); r.open('GET', 'http://s/x', true); r.send(null);"
+        )
+        (signature,) = policy.stored
+        assert signature.startswith("<toplevel>(")
+
+
+class TestObserver:
+    def test_observer_sees_cache_flag(self):
+        seen = []
+        policy = DictPolicy()
+        interp, _ = make_interp(
+            {"http://s/c?p=2": "x"},
+            policy=policy,
+            observer=lambda sig, url, cached: seen.append((sig, url, cached)),
+        )
+        interp.run(FETCH_SCRIPT)
+        interp.eval_expression("getUrl('http://s/c?p=2', true)")
+        interp.eval_expression("getUrl('http://s/c?p=2', true)")
+        assert [cached for _, _, cached in seen] == [False, True]
+        assert all(url == "http://s/c?p=2" for _, url, _ in seen)

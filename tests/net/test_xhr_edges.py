@@ -1,0 +1,109 @@
+"""Edge-case tests for XMLHttpRequest host behaviour."""
+
+import pytest
+
+from repro.clock import CostModel, SimClock
+from repro.js import Interpreter, UNDEFINED
+from repro.net import NetworkGateway, StaticServer, make_xhr_constructor
+
+
+def make_interp(pages):
+    clock = SimClock()
+    gateway = NetworkGateway(StaticServer(pages), clock, CostModel(network_jitter=0.0))
+    interp = Interpreter()
+    interp.define_global(
+        "XMLHttpRequest", make_xhr_constructor(gateway, base_url="http://s/")
+    )
+    return interp, gateway
+
+
+class TestXhrEdges:
+    def test_onreadystatechange_accepted(self):
+        interp, _ = make_interp({"http://s/x": "ok"})
+        interp.run(
+            """
+            var r = new XMLHttpRequest();
+            r.onreadystatechange = function () {};
+            r.open('GET', 'http://s/x', true);
+            r.send(null);
+            """
+        )
+
+    def test_unknown_property_is_undefined(self):
+        interp, _ = make_interp({})
+        assert interp.run("new XMLHttpRequest().responseXML;") is UNDEFINED
+
+    def test_unknown_property_set_raises(self):
+        from repro.errors import JsTypeError
+
+        interp, _ = make_interp({})
+        with pytest.raises(JsTypeError):
+            interp.run("new XMLHttpRequest().withCredentials = true;")
+
+    def test_open_requires_two_arguments(self):
+        from repro.errors import JsTypeError
+
+        interp, _ = make_interp({})
+        with pytest.raises(JsTypeError):
+            interp.run("new XMLHttpRequest().open('GET');")
+
+    def test_404_sets_status_without_raising(self):
+        interp, _ = make_interp({})
+        result = interp.run(
+            """
+            var r = new XMLHttpRequest();
+            r.open('GET', 'http://s/missing', true);
+            r.send(null);
+            r.status;
+            """
+        )
+        assert result == 404.0
+
+    def test_sync_flag_accepted(self):
+        interp, _ = make_interp({"http://s/x": "sync"})
+        result = interp.run(
+            """
+            var r = new XMLHttpRequest();
+            r.open('GET', 'http://s/x', false);
+            r.send(null);
+            r.responseText;
+            """
+        )
+        assert result == "sync"
+
+    def test_post_body_forwarded(self):
+        from repro.net import Response
+        from repro.net.server import SimulatedServer
+
+        captured = {}
+
+        class Echo(SimulatedServer):
+            def handle(self, request):
+                captured["method"] = request.method
+                captured["body"] = request.body
+                return Response(body="echoed")
+
+        clock = SimClock()
+        gateway = NetworkGateway(Echo(), clock, CostModel(network_jitter=0.0))
+        interp = Interpreter()
+        interp.define_global("XMLHttpRequest", make_xhr_constructor(gateway))
+        interp.run(
+            """
+            var r = new XMLHttpRequest();
+            r.open('POST', 'http://s/submit', true);
+            r.send('q=morcheeba');
+            """
+        )
+        assert captured == {"method": "POST", "body": "q=morcheeba"}
+
+    def test_for_in_over_xhr_keys(self):
+        interp, _ = make_interp({})
+        result = interp.run(
+            """
+            var r = new XMLHttpRequest();
+            var keys = [];
+            for (var k in r) { keys.push(k); }
+            keys.join(',');
+            """
+        )
+        assert "open" in result and "send" in result

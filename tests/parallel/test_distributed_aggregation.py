@@ -1,0 +1,65 @@
+"""Tests for distributed result aggregation (§6.6)."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.clock import CostModel
+from repro.errors import SearchError
+from repro.parallel import DistributedResultAggregator, ShardedSearchEngine, SimpleAjaxCrawler, partition_urls
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+@pytest.fixture(scope="module")
+def setting():
+    site = SyntheticYouTube(SiteConfig(num_videos=12, seed=37))
+    partitions = partition_urls(site.all_video_urls(), 4)
+    model_partitions = []
+    for number, urls in enumerate(partitions, start=1):
+        worker = SimpleAjaxCrawler(site, cost_model=CostModel(network_jitter=0.0))
+        result, _ = worker.crawl_urls(urls, partition=number)
+        model_partitions.append(result.models)
+    engine = ShardedSearchEngine.build(model_partitions)
+    aggregator = DistributedResultAggregator(
+        Browser(site, cost_model=CostModel(network_jitter=0.0)), model_partitions
+    )
+    return site, engine, aggregator
+
+
+class TestRouting:
+    def test_partition_lookup(self, setting):
+        site, _, aggregator = setting
+        assert aggregator.partition_of(site.video_url(0)) == 0
+        assert aggregator.partition_of(site.video_url(5)) == 1
+        assert aggregator.partition_of(site.video_url(11)) == 2
+
+    def test_unknown_url_raises(self, setting):
+        _, _, aggregator = setting
+        with pytest.raises(SearchError):
+            aggregator.partition_of("http://elsewhere/")
+
+
+class TestDistributedReconstruction:
+    def test_reconstruct_search_result(self, setting):
+        site, engine, aggregator = setting
+        hits = engine.search("wow")
+        assert hits
+        page = aggregator.reconstruct(hits[0])
+        assert "wow" in page.text.lower()
+
+    def test_reconstruct_deep_state(self, setting):
+        site, engine, aggregator = setting
+        deep = next(
+            (hit for hit in engine.search("wow") if hit.state_id != "s0"), None
+        )
+        if deep is None:
+            pytest.skip("no deep hit in this corpus sample")
+        page = aggregator.reconstruct(deep)
+        assert "wow" in page.text.lower()
+
+    def test_unknown_result_raises(self, setting):
+        from repro.search import SearchResult
+
+        _, _, aggregator = setting
+        bogus = SearchResult(uri="http://elsewhere/", state_id="s0", score=0.0)
+        with pytest.raises(SearchError):
+            aggregator.reconstruct(bogus)

@@ -1,0 +1,74 @@
+"""Tests of the end-to-end SearchPipeline (Figure 6.1)."""
+
+import pytest
+
+from repro.clock import CostModel
+from repro.crawler import CrawlerConfig
+from repro.parallel import SearchPipeline
+from repro.search import SearchEngine
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+@pytest.fixture(scope="module")
+def site():
+    return SyntheticYouTube(SiteConfig(num_videos=24, seed=29))
+
+
+@pytest.fixture(scope="module")
+def outcome(site):
+    pipeline = SearchPipeline(
+        site,
+        num_proc_lines=3,
+        partition_size=8,
+        cost_model=CostModel(network_jitter=0.0),
+    )
+    return pipeline.run(site.video_url(0), max_pages=24)
+
+
+class TestPipelinePhases:
+    def test_precrawl_found_everything(self, outcome):
+        assert len(outcome.precrawl.urls) == 24
+
+    def test_crawl_covered_all_pages(self, outcome):
+        assert outcome.crawl.result.report.num_pages == 24
+
+    def test_sharding_matches_partitions(self, outcome):
+        assert outcome.num_shards == 3  # 24 urls / 8 per partition
+
+    def test_timings_populated(self, outcome):
+        timings = outcome.timings
+        assert timings.precrawl_ms > 0
+        assert timings.crawl_makespan_ms > timings.precrawl_ms / 10
+        assert timings.indexing_ms > 0
+        assert timings.total_ms == pytest.approx(
+            timings.precrawl_ms + timings.crawl_makespan_ms + timings.indexing_ms
+        )
+
+    def test_indexing_time_scales_with_states(self, outcome):
+        states = outcome.crawl.result.report.total_states
+        cost = CostModel().index_state_ms
+        # Indexing is per shard, overlapped: bounded by total and by the
+        # largest shard.
+        assert outcome.timings.indexing_ms <= states * cost
+        assert outcome.timings.indexing_ms >= states * cost / 3 / 2
+
+
+class TestPipelineQueries:
+    def test_engine_answers_queries(self, outcome):
+        hits = outcome.engine.search("wow")
+        assert hits
+        assert all(hit.uri.startswith("http://simtube.test/") for hit in hits)
+
+    def test_ranking_matches_single_index(self, outcome, site):
+        """The sharded pipeline engine ranks like one big engine."""
+        single = SearchEngine.build(
+            outcome.crawl.result.models, pageranks=outcome.precrawl.pageranks
+        )
+        for query in ("wow", "dance", "our song"):
+            mine = [(r.uri, r.state_id) for r in outcome.engine.search(query)]
+            reference = [(r.uri, r.state_id) for r in single.search(query)]
+            assert mine == reference, query
+
+    def test_pageranks_flow_into_results(self, outcome):
+        hits = outcome.engine.search("wow", limit=1)
+        assert hits[0].components["pagerank"] > 0

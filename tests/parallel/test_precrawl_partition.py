@@ -1,0 +1,101 @@
+"""Tests for the precrawling phase and URL partitioning."""
+
+import pytest
+
+from repro.clock import CostModel
+from repro.errors import PartitionError
+from repro.parallel import (
+    Precrawler,
+    PrecrawlResult,
+    URLPartitioner,
+    partition_urls,
+)
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+@pytest.fixture(scope="module")
+def site():
+    return SyntheticYouTube(SiteConfig(num_videos=25, seed=17))
+
+
+@pytest.fixture(scope="module")
+def precrawl(site):
+    precrawler = Precrawler(site, max_pages=25, cost_model=CostModel(network_jitter=0.0))
+    return precrawler.run(site.video_url(0))
+
+
+class TestPrecrawler:
+    def test_discovers_all_videos(self, precrawl, site):
+        assert len(precrawl.urls) == 25
+        assert set(precrawl.urls) == set(site.all_video_urls())
+
+    def test_start_url_first(self, precrawl, site):
+        assert precrawl.urls[0] == site.video_url(0)
+
+    def test_link_graph_matches_ground_truth(self, precrawl, site):
+        url = site.video_url(0)
+        expected = {site.video_url(i) for i in site.related_indexes(0)}
+        assert set(precrawl.link_graph[url]) == expected
+
+    def test_pagerank_computed_for_every_page(self, precrawl):
+        assert set(precrawl.pageranks) == set(precrawl.urls)
+        assert sum(precrawl.pageranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_max_pages_respected(self, site):
+        small = Precrawler(site, max_pages=7, cost_model=CostModel(network_jitter=0.0))
+        result = small.run(site.video_url(0))
+        assert len(result.urls) == 7
+
+    def test_no_javascript_needed(self, site):
+        """Precrawling must not trigger any AJAX call."""
+        precrawler = Precrawler(site, max_pages=5, cost_model=CostModel(network_jitter=0.0))
+        precrawler.run(site.video_url(0))
+        assert precrawler.browser.stats.ajax_calls == 0
+
+    def test_save_load_round_trip(self, precrawl, tmp_path):
+        precrawl.save(tmp_path)
+        loaded = PrecrawlResult.load(tmp_path)
+        assert loaded.urls == precrawl.urls
+        assert loaded.link_graph == precrawl.link_graph
+        assert loaded.pageranks == pytest.approx(precrawl.pageranks)
+
+
+class TestPartitioning:
+    def test_partition_urls_chunks(self):
+        chunks = partition_urls(["a", "b", "c", "d", "e"], 2)
+        assert chunks == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_partition_exact_division(self):
+        assert partition_urls(["a", "b"], 2) == [["a", "b"]]
+
+    def test_partition_empty(self):
+        assert partition_urls([], 3) == []
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_urls(["a"], 0)
+        with pytest.raises(PartitionError):
+            URLPartitioner(-1)
+
+    def test_write_creates_numbered_directories(self, tmp_path):
+        """The §8.1.2 example: 107 pages, size 20 -> 6 directories."""
+        urls = [f"http://x/{i}" for i in range(107)]
+        directories = URLPartitioner(20).write(urls, tmp_path)
+        assert [d.name for d in directories] == ["1", "2", "3", "4", "5", "6"]
+        assert len(URLPartitioner.read(directories[0])) == 20
+        assert len(URLPartitioner.read(directories[5])) == 7
+
+    def test_read_round_trip(self, tmp_path):
+        urls = ["http://x/a", "http://x/b", "http://x/c"]
+        (directory,) = URLPartitioner(5).write(urls, tmp_path)
+        assert URLPartitioner.read(directory) == urls
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(PartitionError):
+            URLPartitioner.read(tmp_path)
+
+    def test_list_partitions_numeric_order(self, tmp_path):
+        urls = [f"http://x/{i}" for i in range(25)]
+        URLPartitioner(2).write(urls, tmp_path)
+        listed = URLPartitioner.list_partitions(tmp_path)
+        assert [d.name for d in listed] == [str(i) for i in range(1, 14)]

@@ -1,0 +1,124 @@
+"""Unit tests for the state-granular inverted file."""
+
+import math
+
+import pytest
+
+from repro.errors import SearchError
+from repro.model import ApplicationModel
+from repro.search import InvertedFile
+
+
+def make_model(url, state_texts):
+    model = ApplicationModel(url)
+    for offset, text in enumerate(state_texts):
+        model.add_state(f"hash-{url}-{offset}", text, depth=offset)
+    return model
+
+
+@pytest.fixture
+def index():
+    """The Table 5.1 scenario: two Morcheeba videos."""
+    video1 = make_model("url1", ["morcheeba mysterious video", "morcheeba singer here"])
+    video2 = make_model("url2", ["morcheeba morcheeba great"])
+    return InvertedFile().build([video1, video2])
+
+
+class TestBuild:
+    def test_num_states(self, index):
+        assert index.num_states == 3
+
+    def test_vocabulary(self, index):
+        # morcheeba, mysterious, video, singer, here, great.
+        assert index.vocabulary_size == 6
+
+    def test_postings_sorted_and_counted(self, index):
+        postings = index.postings("morcheeba")
+        assert [(p.uri, p.state_id, p.count) for p in postings] == [
+            ("url1", "s0", 1),
+            ("url1", "s1", 1),
+            ("url2", "s0", 2),
+        ]
+
+    def test_missing_term_empty(self, index):
+        assert index.postings("absent") == []
+
+    def test_positions_recorded(self, index):
+        (posting,) = [p for p in index.postings("singer")]
+        assert posting.positions == (1,)
+
+    def test_double_index_rejected(self, index):
+        model = make_model("url1", ["again"])
+        with pytest.raises(SearchError):
+            index.add_model(model)
+
+    def test_state_depth_kept(self, index):
+        assert index.state_depth("url1", "s1") == 1
+
+
+class TestMaxStateIndex:
+    def test_traditional_index_has_first_states_only(self):
+        video = make_model("u", ["first page", "second page", "third page"])
+        traditional = InvertedFile(max_state_index=1).build([video])
+        assert traditional.num_states == 1
+        assert traditional.postings("second") == []
+        assert len(traditional.postings("first")) == 1
+
+    def test_k_state_index(self):
+        video = make_model("u", ["one", "two", "three", "four"])
+        two_states = InvertedFile(max_state_index=2).build([video])
+        assert two_states.num_states == 2
+        assert two_states.postings("two")
+        assert not two_states.postings("three")
+
+
+class TestStatistics:
+    def test_tf(self, index):
+        # "morcheeba morcheeba great": 2 of 3 tokens.
+        assert index.tf("morcheeba", "url2", "s0") == pytest.approx(2 / 3)
+        assert index.tf("great", "url2", "s0") == pytest.approx(1 / 3)
+        assert index.tf("absent", "url2", "s0") == 0.0
+        assert index.tf("morcheeba", "nope", "s0") == 0.0
+
+    def test_idf(self, index):
+        # morcheeba is in all 3 states -> idf = log(3/3) = 0.
+        assert index.idf("morcheeba") == pytest.approx(0.0)
+        # singer in 1 of 3 states.
+        assert index.idf("singer") == pytest.approx(math.log(3))
+        assert index.idf("absent") == 0.0
+
+    def test_worked_example_from_section_652(self):
+        """idf = log((10+13)/(4+6)) = log(2.3) — eq. in §6.5.2."""
+        states_a = [f"filler{i}" for i in range(10)]
+        for i in range(4):
+            states_a[i] = f"keyword filler{i}"
+        states_b = [f"other{i}" for i in range(13)]
+        for i in range(6):
+            states_b[i] = f"keyword other{i}"
+        index = InvertedFile().build(
+            [make_model("a", states_a), make_model("b", states_b)]
+        )
+        assert index.idf("keyword") == pytest.approx(math.log(23 / 10))
+
+    def test_state_length(self, index):
+        assert index.state_length("url1", "s0") == 3
+        assert index.state_length("nope", "s0") == 0
+
+
+class TestSerialization:
+    def test_round_trip(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = InvertedFile.load(path)
+        assert loaded.num_states == index.num_states
+        assert loaded.postings("morcheeba") == index.postings("morcheeba")
+        assert loaded.idf("singer") == pytest.approx(index.idf("singer"))
+        assert loaded.state_depth("url1", "s1") == 1
+        assert loaded.max_state_index == index.max_state_index
+
+    def test_round_trip_preserves_max_state_index(self, tmp_path):
+        video = make_model("u", ["one", "two"])
+        index = InvertedFile(max_state_index=1).build([video])
+        path = tmp_path / "index.json"
+        index.save(path)
+        assert InvertedFile.load(path).max_state_index == 1

@@ -1,0 +1,88 @@
+"""Tests for incremental index maintenance (remove_url / update_model)."""
+
+import pytest
+
+from repro.model import ApplicationModel
+from repro.search import InvertedFile
+
+
+def make_model(url, state_texts):
+    model = ApplicationModel(url)
+    for offset, text in enumerate(state_texts):
+        model.add_state(f"{url}-h{offset}", text, depth=offset)
+    return model
+
+
+@pytest.fixture
+def index():
+    return InvertedFile().build(
+        [
+            make_model("u1", ["alpha beta", "beta gamma"]),
+            make_model("u2", ["alpha delta"]),
+        ]
+    )
+
+
+class TestRemoveUrl:
+    def test_removes_all_states_of_url(self, index):
+        removed = index.remove_url("u1")
+        assert removed == 2
+        assert index.num_states == 1
+        assert index.states() == [("u2", "s0")]
+
+    def test_postings_purged(self, index):
+        index.remove_url("u1")
+        assert [p.uri for p in index.postings("alpha")] == ["u2"]
+        assert index.postings("gamma") == []
+
+    def test_vocabulary_shrinks(self, index):
+        before = index.vocabulary_size
+        index.remove_url("u1")
+        assert index.vocabulary_size < before
+
+    def test_unknown_url_noop(self, index):
+        assert index.remove_url("nope") == 0
+        assert index.num_states == 3
+
+    def test_idf_reflects_removal(self, index):
+        import math
+
+        index.remove_url("u1")
+        # alpha now in 1 of 1 states.
+        assert index.idf("alpha") == pytest.approx(math.log(1))
+
+
+class TestUpdateModel:
+    def test_replaces_states(self, index):
+        index.update_model(make_model("u1", ["epsilon zeta"]))
+        assert index.num_states == 2
+        assert index.postings("epsilon")
+        assert index.postings("beta") == []
+
+    def test_equivalent_to_fresh_build(self, index):
+        updated_model = make_model("u1", ["omega psi", "psi chi"])
+        index.update_model(updated_model)
+        fresh = InvertedFile().build(
+            [updated_model, make_model("u2", ["alpha delta"])]
+        )
+        for term in ("omega", "psi", "chi", "alpha", "delta"):
+            assert index.postings(term) == fresh.postings(term), term
+        assert index.num_states == fresh.num_states
+
+    def test_update_after_load(self, index, tmp_path):
+        """A deserialized index supports incremental maintenance too."""
+        path = tmp_path / "idx.json"
+        index.save(path)
+        loaded = InvertedFile.load(path)
+        loaded.update_model(make_model("u1", ["fresh content"]))
+        assert loaded.postings("fresh")
+        assert loaded.postings("beta") == []
+
+    def test_search_engine_sees_update(self, index):
+        from repro.search import SearchEngine
+
+        engine = SearchEngine(index)
+        assert engine.result_count("beta") == 2
+        index.update_model(make_model("u1", ["replaced text"]))
+        assert engine.result_count("beta") == 0
+        assert engine.result_count("replaced") == 1

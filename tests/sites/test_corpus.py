@@ -1,0 +1,100 @@
+"""Unit tests for the text corpus and query workload."""
+
+from repro.sites import (
+    CommentCorpus,
+    PAPER_QUERIES,
+    build_query_workload,
+    full_workload,
+    paper_queries,
+)
+
+
+class TestQueryWorkload:
+    def test_paper_queries_first(self):
+        workload = build_query_workload()
+        assert tuple(workload[:11]) == PAPER_QUERIES
+
+    def test_exactly_100_queries(self):
+        assert len(build_query_workload()) == 100
+
+    def test_no_duplicates(self):
+        workload = build_query_workload()
+        assert len(set(workload)) == len(workload)
+
+    def test_workload_objects(self):
+        queries = full_workload()
+        assert queries[0].query_id == "Q1"
+        assert queries[0].text == "wow"
+        assert not queries[0].is_conjunction
+        assert queries[3].text == "our song"
+        assert queries[3].is_conjunction
+        assert queries[3].terms == ("our", "song")
+
+    def test_paper_queries_helper(self):
+        assert [q.text for q in paper_queries()] == list(PAPER_QUERIES)
+
+    def test_workload_deterministic(self):
+        assert build_query_workload() == build_query_workload()
+
+
+class TestCommentCorpus:
+    def test_comments_deterministic(self):
+        one = CommentCorpus(seed=3)
+        two = CommentCorpus(seed=3)
+        assert one.comment(5, 2, 7) == two.comment(5, 2, 7)
+
+    def test_different_slots_differ(self):
+        corpus = CommentCorpus(seed=3)
+        texts = {corpus.comment(1, 1, slot) for slot in range(10)}
+        assert len(texts) == 10
+
+    def test_different_seeds_differ(self):
+        assert CommentCorpus(seed=1).comment(0, 1, 0) != CommentCorpus(seed=2).comment(0, 1, 0)
+
+    def test_comment_is_nonempty_text(self):
+        comment = CommentCorpus().comment(0, 1, 0)
+        assert len(comment.split()) >= 5
+
+    def test_video_identity_stable_and_distinct(self):
+        corpus = CommentCorpus()
+        assert corpus.video_identity(3) == corpus.video_identity(3)
+        titles = {corpus.video_identity(i).full_title for i in range(200)}
+        assert len(titles) == 200
+
+    def test_identity_id_format(self):
+        assert CommentCorpus().video_identity(42).video_id == "v00042"
+
+    def test_description_mentions_band(self):
+        corpus = CommentCorpus()
+        identity = corpus.video_identity(0)
+        assert identity.band in corpus.description(0)
+
+    def test_query_terms_do_appear_in_corpus(self):
+        """The Zipf injection must actually place query phrases in comments."""
+        corpus = CommentCorpus()
+        blob = " ".join(
+            corpus.comment(video, page, slot)
+            for video in range(20)
+            for page in range(1, 3)
+            for slot in range(10)
+        )
+        assert "wow" in blob
+        assert "our song" in blob  # multiword phrases injected as units
+
+    def test_popular_queries_more_frequent(self):
+        """Rank-0 'wow' should clearly outnumber rank-10 'low' (Zipf)."""
+        corpus = CommentCorpus()
+        words = " ".join(
+            corpus.comment(video, page, slot)
+            for video in range(60)
+            for page in range(1, 4)
+            for slot in range(10)
+        ).split()
+        # Neither word is in the filler vocabulary, so all occurrences
+        # come from query injection.
+        assert words.count("wow") > words.count("low")
+        assert words.count("wow") >= 5
+
+    def test_authors_look_like_users(self):
+        author = CommentCorpus().comment_author(0, 1, 0)
+        assert author.startswith("user")

@@ -1,0 +1,51 @@
+"""Tests for the comment-page distribution (Figure 7.1 shape)."""
+
+from repro.sites import CommentPageDistribution
+
+
+class TestCommentPageDistribution:
+    def test_deterministic_per_seed(self):
+        one = CommentPageDistribution(seed=5)
+        two = CommentPageDistribution(seed=5)
+        assert [one.pages_for(i) for i in range(50)] == [two.pages_for(i) for i in range(50)]
+
+    def test_seed_changes_samples(self):
+        one = [CommentPageDistribution(seed=1).pages_for(i) for i in range(100)]
+        two = [CommentPageDistribution(seed=2).pages_for(i) for i in range(100)]
+        assert one != two
+
+    def test_bounds(self):
+        dist = CommentPageDistribution(seed=3, max_pages=20)
+        samples = [dist.pages_for(i) for i in range(500)]
+        assert min(samples) >= 1
+        assert max(samples) <= 20
+
+    def test_mode_is_one_page(self):
+        """Figure 7.1: most videos have a single comment page."""
+        dist = CommentPageDistribution(seed=3)
+        histogram = dist.histogram(range(2000))
+        assert max(histogram, key=histogram.get) == 1
+        assert histogram[1] / 2000 > 0.3
+
+    def test_heavy_tail_exists(self):
+        """Figure 7.1: enough videos have many pages to make AJAX crawling
+        worthwhile."""
+        dist = CommentPageDistribution(seed=3)
+        samples = [dist.pages_for(i) for i in range(2000)]
+        assert sum(1 for s in samples if s >= 10) > 20
+
+    def test_mean_in_paper_regime(self):
+        """YouTube10000: 41572 states / 10000 videos ~= 4.2 (with cap 11);
+        the uncapped mean should sit a bit above 3."""
+        mean = CommentPageDistribution(seed=3).mean_pages(2000)
+        assert 2.5 < mean < 6.5
+
+    def test_monotone_decreasing_head(self):
+        dist = CommentPageDistribution(seed=3)
+        histogram = dist.histogram(range(5000))
+        assert histogram[1] > histogram[2] > histogram.get(3, 0)
+
+    def test_histogram_counts_sum(self):
+        dist = CommentPageDistribution(seed=3)
+        histogram = dist.histogram(range(123))
+        assert sum(histogram.values()) == 123

@@ -1,0 +1,115 @@
+"""SimMail tests: update-event safety (§4.3) and granularity hints."""
+
+import json
+
+import pytest
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.net import Request
+from repro.sites import AJAX_ROBOTS_PATH, SyntheticWebmail
+
+
+@pytest.fixture
+def mail():
+    return SyntheticWebmail()
+
+
+def cost():
+    return CostModel(network_jitter=0.0)
+
+
+class TestServer:
+    def test_mail_page_serves(self, mail):
+        response = mail.handle(Request("GET", mail.inbox_url))
+        assert response.ok
+        assert "openFolder" in response.body
+
+    def test_folder_endpoint(self, mail):
+        response = mail.handle(Request("GET", f"{mail.base_url}/folder?name=spam"))
+        assert "urgent business proposal" in response.body
+
+    def test_unknown_folder_404(self, mail):
+        assert mail.handle(Request("GET", f"{mail.base_url}/folder?name=x")).status == 404
+
+    def test_delete_endpoint_mutates_state(self, mail):
+        assert mail.delete_count == 0
+        mail.handle(Request("GET", f"{mail.base_url}/delete?folder=inbox&i=0"))
+        assert mail.delete_count == 1
+        body = mail.handle(Request("GET", f"{mail.base_url}/folder?name=inbox")).body
+        assert "lunch tomorrow" not in body
+
+    def test_granularity_hint_served(self, mail):
+        response = mail.handle(Request("GET", mail.base_url + AJAX_ROBOTS_PATH))
+        assert response.ok
+        assert json.loads(response.body) == {"max_states": 5}
+
+
+class TestUpdateEventGuard:
+    def test_crawler_never_deletes_mail(self, mail):
+        """The §4.3 hazard: crawling an inbox must not destroy messages."""
+        crawler = AjaxCrawler(mail, cost_model=cost())
+        result = crawler.crawl_page(mail.inbox_url)
+        assert mail.delete_count == 0
+        assert result.metrics.update_events_skipped > 0
+
+    def test_folder_states_still_crawled(self, mail):
+        crawler = AjaxCrawler(mail, cost_model=cost())
+        result = crawler.crawl_page(mail.inbox_url)
+        texts = [state.text for state in result.model.states()]
+        assert any("nightly build" in t for t in texts)  # inbox
+        assert any("old invoice" in t for t in texts)  # archive
+        assert any("urgent business" in t for t in texts)  # spam
+
+    def test_guard_disabled_fires_deletes(self):
+        """Without the guard the crawler destroys the mailbox — the
+        exact behaviour the thesis rules out."""
+        mail = SyntheticWebmail(max_states_hint=50)
+        config = CrawlerConfig(update_event_patterns=())
+        crawler = AjaxCrawler(mail, config, cost_model=cost())
+        crawler.crawl_page(mail.inbox_url)
+        assert mail.delete_count > 0
+
+    def test_custom_patterns(self, mail):
+        config = CrawlerConfig(update_event_patterns=("openfolder",))
+        crawler = AjaxCrawler(mail, config, cost_model=cost())
+        result = crawler.crawl_page(mail.inbox_url)
+        # With folder-opening treated as destructive nothing is crawled
+        # beyond the initial state (but deletes now fire!).
+        assert all("openFolder" not in t.event.handler for t in result.model.transitions())
+
+
+class TestGranularityHints:
+    def test_hint_caps_states(self):
+        mail = SyntheticWebmail(max_states_hint=2)
+        crawler = AjaxCrawler(mail, CrawlerConfig(max_additional_states=10), cost_model=cost())
+        result = crawler.crawl_page(mail.inbox_url)
+        assert result.model.num_states <= 2
+
+    def test_hint_cannot_raise_cap(self):
+        mail = SyntheticWebmail(max_states_hint=99)
+        crawler = AjaxCrawler(mail, CrawlerConfig(max_additional_states=1), cost_model=cost())
+        result = crawler.crawl_page(mail.inbox_url)
+        assert result.model.num_states <= 2  # config cap (1+1) wins
+
+    def test_hint_ignorable(self):
+        mail = SyntheticWebmail(max_states_hint=1)
+        config = CrawlerConfig(respect_granularity_hints=False)
+        crawler = AjaxCrawler(mail, config, cost_model=cost())
+        result = crawler.crawl_page(mail.inbox_url)
+        assert result.model.num_states == 3  # all folders
+
+    def test_site_without_hint_uses_config(self):
+        from repro.sites import SiteConfig, SyntheticYouTube
+
+        site = SyntheticYouTube(SiteConfig(num_videos=5, seed=3))
+        crawler = AjaxCrawler(site, cost_model=cost())
+        result = crawler.crawl_page(site.video_url(0))
+        assert result.model.num_states >= 1  # SimTube serves no hint: no crash
+
+    def test_hint_cached_per_origin(self):
+        mail = SyntheticWebmail(max_states_hint=4)
+        crawler = AjaxCrawler(mail, cost_model=cost())
+        crawler.crawl_page(mail.inbox_url)
+        crawler.crawl_page(mail.inbox_url)
+        assert crawler._hint_cache == {mail.base_url: 4}

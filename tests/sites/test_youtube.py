@@ -1,0 +1,150 @@
+"""Tests for the SimTube synthetic site: structure, determinism, browsing."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.clock import CostModel
+from repro.dom import parse_document
+from repro.net import Request, StatelessnessChecker
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+@pytest.fixture(scope="module")
+def site():
+    return SyntheticYouTube(SiteConfig(num_videos=30, seed=11))
+
+
+class TestWatchPage:
+    def test_serves_watch_page(self, site):
+        response = site.handle(Request("GET", site.video_url(0)))
+        assert response.ok
+        assert "recent_comments" in response.body
+
+    def test_unknown_video_404(self, site):
+        assert site.handle(Request("GET", f"{site.config.base_url}/watch?v=v99999")).status == 404
+        assert site.handle(Request("GET", f"{site.config.base_url}/watch?v=bogus")).status == 404
+
+    def test_title_present(self, site):
+        body = site.handle(Request("GET", site.video_url(3))).body
+        identity = site.corpus.video_identity(3)
+        assert identity.full_title in body
+
+    def test_first_comment_page_inline(self, site):
+        body = site.handle(Request("GET", site.video_url(0))).body
+        assert site.comment_text(0, 1, 0) in body
+
+    def test_related_links_are_hyperlinks(self, site):
+        doc = parse_document(site.handle(Request("GET", site.video_url(0))).body)
+        related = doc.get_element_by_id("related")
+        hrefs = [a.get_attribute("href") for a in related.get_elements_by_tag("a")]
+        assert site.video_url(1) in hrefs  # i+1 link guarantees connectivity
+        assert all(href.startswith(site.config.base_url) for href in hrefs)
+
+    def test_page_is_deterministic(self, site):
+        one = site.handle(Request("GET", site.video_url(5))).body
+        two = site.handle(Request("GET", site.video_url(5))).body
+        assert one == two
+
+    def test_statelessness_assumption_holds(self, site):
+        checked = StatelessnessChecker(site)
+        for _ in range(3):
+            checked.handle(Request("GET", site.video_url(2)))
+            checked.handle(Request("GET", f"{site.config.base_url}/comments?v=v00002&p=1"))
+
+
+class TestCommentsEndpoint:
+    def test_valid_page(self, site):
+        response = site.handle(Request("GET", f"{site.config.base_url}/comments?v=v00000&p=1"))
+        assert response.ok
+        assert site.comment_text(0, 1, 3) in response.body
+
+    def test_out_of_range_page_404(self, site):
+        max_page = site.comment_pages_of(0)
+        url = f"{site.config.base_url}/comments?v=v00000&p={max_page + 1}"
+        assert site.handle(Request("GET", url)).status == 404
+        assert site.handle(Request("GET", f"{site.config.base_url}/comments?v=v00000&p=0")).status == 404
+
+    def test_malformed_page_404(self, site):
+        url = f"{site.config.base_url}/comments?v=v00000&p=abc"
+        assert site.handle(Request("GET", url)).status == 404
+
+    def test_page1_fragment_matches_inline(self, site):
+        """Crucial for dedup: reaching page 1 by event == initial state."""
+        fragment = site.handle(
+            Request("GET", f"{site.config.base_url}/comments?v=v00000&p=1")
+        ).body
+        watch = site.handle(Request("GET", site.video_url(0))).body
+        assert fragment in watch
+
+    def test_nav_present_only_for_multipage_videos(self, site):
+        multi = next(i for i in range(30) if site.comment_pages_of(i) >= 3)
+        single = next(i for i in range(30) if site.comment_pages_of(i) == 1)
+        multi_id = site.corpus.video_identity(multi).video_id
+        single_id = site.corpus.video_identity(single).video_id
+        multi_body = site.handle(
+            Request("GET", f"{site.config.base_url}/comments?v={multi_id}&p=1")
+        ).body
+        single_body = site.handle(
+            Request("GET", f"{site.config.base_url}/comments?v={single_id}&p=1")
+        ).body
+        assert "nextPage()" in multi_body
+        assert "onclick" not in single_body
+
+    def test_nav_shape_middle_page(self, site):
+        multi = next(i for i in range(30) if site.comment_pages_of(i) >= 5)
+        vid = site.corpus.video_identity(multi).video_id
+        body = site.handle(
+            Request("GET", f"{site.config.base_url}/comments?v={vid}&p=3")
+        ).body
+        assert "prevPage()" in body
+        assert "nextPage()" in body
+        assert "jumpToPage(2)" in body
+        assert "jumpToPage(4)" in body
+        assert "jumpToPage(3)" not in body  # current page is not a link
+
+
+class TestBrowsing:
+    """End-to-end: a JS browser can actually paginate SimTube comments."""
+
+    def test_full_pagination_walk(self, site):
+        multi = next(i for i in range(30) if site.comment_pages_of(i) >= 3)
+        browser = Browser(site, cost_model=CostModel(network_jitter=0.0))
+        page = browser.load(site.video_url(multi))
+        assert site.comment_text(multi, 1, 0) in page.text
+        next_event = [b for b in page.events() if b.handler == "nextPage()"][0]
+        page.dispatch(next_event)
+        assert site.comment_text(multi, 2, 0) in page.text
+        # The nav re-rendered for page 2: a prev link appeared.
+        assert any(b.handler == "prevPage()" for b in page.events())
+
+    def test_jump_and_back_produce_same_hashes(self, site):
+        multi = next(i for i in range(30) if site.comment_pages_of(i) >= 3)
+        browser = Browser(site, cost_model=CostModel(network_jitter=0.0))
+        page = browser.load(site.video_url(multi))
+        initial = page.content_hash()
+        jump2 = [b for b in page.events() if b.handler == "jumpToPage(2)"][0]
+        page.dispatch(jump2)
+        prev = [b for b in page.events() if b.handler == "prevPage()"][0]
+        page.dispatch(prev)
+        assert page.content_hash() == initial
+
+    def test_single_page_video_has_no_events(self, site):
+        single = next(i for i in range(30) if site.comment_pages_of(i) == 1)
+        browser = Browser(site, cost_model=CostModel(network_jitter=0.0))
+        page = browser.load(site.video_url(single))
+        assert page.events() == []
+
+
+class TestGroundTruthHelpers:
+    def test_all_video_urls(self, site):
+        urls = site.all_video_urls()
+        assert len(urls) == 30
+        assert urls[0].endswith("v=v00000")
+
+    def test_related_indexes_connectivity(self, site):
+        for index in range(30):
+            assert (index + 1) % 30 in site.related_indexes(index)
+
+    def test_related_excludes_self(self, site):
+        for index in range(30):
+            assert index not in site.related_indexes(index)

@@ -1,0 +1,107 @@
+"""The JSON-API (client-side rendering) variant of SimTube."""
+
+import json
+
+import pytest
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler
+from repro.net import Request
+from repro.sites import SiteConfig, SyntheticYouTube
+
+
+@pytest.fixture(scope="module")
+def json_site():
+    return SyntheticYouTube(SiteConfig(num_videos=20, seed=11, json_api=True))
+
+
+@pytest.fixture(scope="module")
+def html_site():
+    return SyntheticYouTube(SiteConfig(num_videos=20, seed=11, json_api=False))
+
+
+def cost():
+    return CostModel(network_jitter=0.0)
+
+
+def multi_page_index(site):
+    return next(
+        i for i in range(site.config.num_videos) if 3 <= site.comment_pages_of(i) <= 8
+    )
+
+
+class TestJsonEndpoint:
+    def test_comments_endpoint_returns_json(self, json_site):
+        index = multi_page_index(json_site)
+        vid = json_site.corpus.video_identity(index).video_id
+        response = json_site.handle(
+            Request("GET", f"{json_site.config.base_url}/comments?v={vid}&p=2")
+        )
+        assert response.content_type == "application/json"
+        payload = json.loads(response.body)
+        assert payload["page"] == 2
+        assert len(payload["comments"]) == 10
+        assert payload["comments"][0]["text"] == json_site.comment_text(index, 2, 0)
+
+    def test_watch_page_uses_json_script(self, json_site):
+        body = json_site.handle(Request("GET", json_site.video_url(0))).body
+        assert "JSON.parse" in body
+        assert "renderComments" in body
+
+
+class TestJsonCrawl:
+    def test_crawler_discovers_same_states_as_html_variant(self, json_site, html_site):
+        """Client-side rendering is invisible to the crawler: the same
+        comment pages become the same number of states."""
+        index = multi_page_index(json_site)
+        json_result = AjaxCrawler(json_site, cost_model=cost()).crawl_page(
+            json_site.video_url(index)
+        )
+        html_result = AjaxCrawler(html_site, cost_model=cost()).crawl_page(
+            html_site.video_url(index)
+        )
+        assert json_result.model.num_states == html_result.model.num_states
+        assert (
+            json_result.model.num_transitions == html_result.model.num_transitions
+        )
+
+    def test_dedup_works_across_js_rendering(self, json_site):
+        """Reaching page 1 via a JS-rendered fragment must hash equal to
+        the inline initial state (the Python mirror of renderComments)."""
+        index = multi_page_index(json_site)
+        result = AjaxCrawler(json_site, cost_model=cost()).crawl_page(
+            json_site.video_url(index)
+        )
+        assert result.metrics.duplicates_detected > 0
+        prev_to_initial = [
+            t
+            for t in result.model.transitions()
+            if t.event.handler == "prevPage()"
+            and t.to_state == result.model.initial_state_id
+        ]
+        assert prev_to_initial
+
+    def test_comment_text_indexed(self, json_site):
+        from repro.search import SearchEngine
+
+        index = multi_page_index(json_site)
+        result = AjaxCrawler(json_site, cost_model=cost()).crawl_page(
+            json_site.video_url(index)
+        )
+        engine = SearchEngine.build([result.model])
+        deep_word = max(json_site.comment_text(index, 2, 0).split(), key=len)
+        assert engine.search(deep_word)
+
+    def test_hot_node_still_getUrl(self, json_site):
+        index = multi_page_index(json_site)
+        crawler = AjaxCrawler(json_site, cost_model=cost())
+        crawler.crawl_page(json_site.video_url(index))
+        assert "getUrl" in crawler.hot_cache.hot_nodes
+
+    def test_network_calls_still_bounded(self, json_site):
+        index = multi_page_index(json_site)
+        pages = json_site.comment_pages_of(index)
+        result = AjaxCrawler(json_site, cost_model=cost()).crawl_page(
+            json_site.video_url(index)
+        )
+        assert result.metrics.ajax_calls <= pages

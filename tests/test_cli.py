@@ -1,0 +1,132 @@
+"""End-to-end tests of the CLI pipeline (the chapter-8 infrastructure)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_site, main
+from repro.sites import SyntheticWebmail, SyntheticYouTube
+
+
+class TestBuildSite:
+    def test_simtube_defaults(self):
+        site = build_site("simtube")
+        assert isinstance(site, SyntheticYouTube)
+        assert site.config.num_videos == 100
+
+    def test_simtube_with_params(self):
+        site = build_site("simtube:12:3")
+        assert site.config.num_videos == 12
+        assert site.config.seed == 3
+
+    def test_webmail(self):
+        assert isinstance(build_site("webmail"), SyntheticWebmail)
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            build_site("geocities")
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Run the full CLI pipeline once into a temp directory."""
+    root = tmp_path_factory.mktemp("cli")
+    pre = root / "pre"
+    crawl_root = root / "crawl"
+    index_file = root / "index.json"
+    site = "simtube:12:3"
+    assert main(["precrawl", "--site", site, "--out", str(pre), "--max-pages", "12"]) == 0
+    assert main(["partition", "--precrawl", str(pre), "--size", "4", "--out", str(crawl_root)]) == 0
+    assert main(["crawl", "--site", site, "--root", str(crawl_root)]) == 0
+    assert main(["index", "--root", str(crawl_root), "--out", str(index_file)]) == 0
+    return {"pre": pre, "crawl_root": crawl_root, "index": index_file, "site": site}
+
+
+class TestPipeline:
+    def test_precrawl_outputs(self, pipeline):
+        urls = json.loads((pipeline["pre"] / "urls.json").read_text())
+        assert len(urls) == 12
+        pageranks = json.loads((pipeline["pre"] / "pagerank.json").read_text())
+        assert len(pageranks) == 12
+
+    def test_partitions_created(self, pipeline):
+        names = sorted(p.name for p in pipeline["crawl_root"].iterdir())
+        assert names == ["1", "2", "3"]
+        assert (pipeline["crawl_root"] / "1" / "URLsToCrawl.txt").exists()
+
+    def test_models_stored(self, pipeline):
+        models = json.loads(
+            (pipeline["crawl_root"] / "1" / "models.json").read_text()
+        )
+        assert len(models) == 4
+
+    def test_index_built(self, pipeline):
+        payload = json.loads(pipeline["index"].read_text())
+        assert payload["postings"]
+        assert payload["state_lengths"]
+
+    def test_search(self, pipeline, capsys):
+        assert main(["search", "--index", str(pipeline["index"]), "--query", "wow"]) == 0
+        out = capsys.readouterr().out
+        assert "result(s) for 'wow'" in out
+
+    def test_search_with_pagerank(self, pipeline, capsys):
+        assert main([
+            "search",
+            "--index", str(pipeline["index"]),
+            "--query", "wow",
+            "--pagerank", str(pipeline["pre"] / "pagerank.json"),
+            "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simtube.test" in out
+
+    def test_stats(self, pipeline, capsys):
+        assert main(["stats", "--root", str(pipeline["crawl_root"])]) == 0
+        out = capsys.readouterr().out
+        assert "pages:       12" in out
+
+    def test_traditional_crawl(self, pipeline, tmp_path, capsys):
+        crawl_root = tmp_path / "trad"
+        assert main([
+            "partition", "--precrawl", str(pipeline["pre"]),
+            "--size", "6", "--out", str(crawl_root),
+        ]) == 0
+        assert main([
+            "crawl", "--site", pipeline["site"], "--root", str(crawl_root),
+            "--traditional",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "traditional crawl done: 12 pages, 12 states" in out
+
+    def test_dot_export(self, pipeline, capsys):
+        url = "http://simtube.test/watch?v=v00000"
+        assert main(["dot", "--root", str(pipeline["crawl_root"]), "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph app_model {")
+        assert "s0 [shape=doublecircle" in out
+
+    def test_dot_unknown_url(self, pipeline, capsys):
+        assert main([
+            "dot", "--root", str(pipeline["crawl_root"]), "--url", "http://nope/",
+        ]) == 1
+
+    def test_max_state_index_option(self, pipeline, tmp_path):
+        out_file = tmp_path / "trad_index.json"
+        assert main([
+            "index", "--root", str(pipeline["crawl_root"]),
+            "--out", str(out_file), "--max-state-index", "1",
+        ]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["max_state_index"] == 1
+        assert len(payload["state_lengths"]) == 12  # one state per page
+
+
+class TestArgumentErrors:
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

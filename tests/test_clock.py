@@ -1,0 +1,102 @@
+"""Unit tests for the virtual clock and cost model."""
+
+import random
+
+import pytest
+
+from repro.clock import CostModel, SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(5.5)
+        assert clock.now_ms == pytest.approx(15.5)
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_accounts_are_tracked_separately(self):
+        clock = SimClock()
+        clock.advance(100.0, account="network")
+        clock.advance(40.0, account="cpu")
+        clock.advance(60.0, account="network")
+        assert clock.spent_on("network") == pytest.approx(160.0)
+        assert clock.spent_on("cpu") == pytest.approx(40.0)
+        assert clock.now_ms == pytest.approx(200.0)
+
+    def test_unknown_account_is_zero(self):
+        assert SimClock().spent_on("nope") == 0.0
+
+    def test_accounts_snapshot_is_a_copy(self):
+        clock = SimClock()
+        clock.advance(1.0, account="a")
+        snapshot = clock.accounts()
+        snapshot["a"] = 999.0
+        assert clock.spent_on("a") == pytest.approx(1.0)
+
+    def test_reset_clears_time_and_accounts(self):
+        clock = SimClock()
+        clock.advance(50.0, account="network")
+        clock.reset()
+        assert clock.now_ms == 0.0
+        assert clock.accounts() == {}
+
+
+class TestStopwatch:
+    def test_measures_interval(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(25.0)
+        assert watch.elapsed_ms == pytest.approx(25.0)
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(25.0)
+        watch.restart()
+        clock.advance(10.0)
+        assert watch.elapsed_ms == pytest.approx(10.0)
+
+
+class TestCostModel:
+    def test_page_latency_larger_than_ajax(self):
+        model = CostModel(network_jitter=0.0)
+        page = model.network_latency_ms("page", body_bytes=0)
+        ajax = model.network_latency_ms("ajax", body_bytes=0)
+        assert page > ajax > 0
+
+    def test_body_size_adds_cost(self):
+        model = CostModel(network_jitter=0.0)
+        small = model.network_latency_ms("ajax", body_bytes=0)
+        large = model.network_latency_ms("ajax", body_bytes=10 * 1024)
+        assert large == pytest.approx(small + 10 * model.per_kb_ms)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().network_latency_ms("carrier-pigeon", body_bytes=0)
+
+    def test_jitter_bounded(self):
+        model = CostModel(network_jitter=0.2, rng=random.Random(7))
+        base = model.ajax_call_ms
+        for _ in range(200):
+            latency = model.network_latency_ms("ajax", body_bytes=0)
+            assert 0.8 * base <= latency <= 1.2 * base
+
+    def test_seeded_model_is_deterministic(self):
+        one = CostModel(rng=random.Random(42))
+        two = CostModel(rng=random.Random(42))
+        seq_one = [one.network_latency_ms("page", 100) for _ in range(10)]
+        seq_two = [two.network_latency_ms("page", 100) for _ in range(10)]
+        assert seq_one == seq_two
+
+    def test_js_and_parse_costs_scale_linearly(self):
+        model = CostModel()
+        assert model.js_execution_ms(100) == pytest.approx(100 * model.js_step_ms)
+        assert model.html_parse_ms(2048) == pytest.approx(2 * model.html_parse_per_kb_ms)
