@@ -1,0 +1,20 @@
+# Developer entry points.  `make check` is the one-command gate:
+# the tier-1 test suite plus a smoke run of the fault-tolerance
+# benchmark, so robustness regressions surface before review.
+
+PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: check test bench-faults bench
+
+check: test bench-faults
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-faults:
+	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

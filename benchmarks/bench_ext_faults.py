@@ -1,0 +1,31 @@
+"""Extension bench — crawl throughput vs. injected server-fault rate.
+
+The robustness experiment the thesis could not run: a deterministic
+fault plan injects 5xx responses into the AJAX endpoints at increasing
+rates while the four-line parallel crawler (with retries enabled)
+crawls the same site.  The crawl must complete at every rate; the cost
+of faults shows up as quarantined events, retry time and reduced state
+throughput — never as an aborted partition.
+"""
+
+from repro.experiments.exp_faults import fault_study, format_fault_table
+from repro.experiments.harness import emit
+
+
+def test_fault_tolerance_throughput(benchmark):
+    points = benchmark.pedantic(fault_study, rounds=1, iterations=1)
+    emit("ext_faults", format_fault_table(points))
+    clean, faulty = points[0], points[-1]
+    # Every run completes every page crawl; failures never kill a partition.
+    assert all(p.pages + p.failed_pages == clean.pages for p in points)
+    # The zero-fault run is a true no-op for the retry layer.
+    assert clean.injected_faults == 0
+    assert clean.retries == 0 and clean.failed_requests == 0
+    assert clean.quarantined_events == 0
+    # Bookkeeping invariant: every injected fault is either retried or
+    # exhausts a request — nothing vanishes.
+    assert all(p.retries + p.failed_requests == p.injected_faults for p in points)
+    # Faults cost real virtual time and real coverage.
+    assert faulty.injected_faults > 0
+    assert faulty.retry_time_ms > 0
+    assert faulty.states_per_second < clean.states_per_second

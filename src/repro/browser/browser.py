@@ -15,6 +15,7 @@ from repro.clock import CostModel, SimClock
 from repro.dom import parse_document
 from repro.errors import BrowserError
 from repro.js import Interpreter
+from repro.net.faults import RetryPolicy
 from repro.net.gateway import NetworkGateway
 from repro.net.server import SimulatedServer
 from repro.net.stats import NetworkStats
@@ -34,11 +35,14 @@ class Browser:
         hot_policy: Optional[HotCallPolicy] = None,
         hot_observer: Optional[HotCallObserver] = None,
         max_js_steps: int = 2_000_000,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.cost_model = cost_model or CostModel()
         self.stats = stats or NetworkStats()
-        self.gateway = NetworkGateway(server, self.clock, self.cost_model, self.stats)
+        self.gateway = NetworkGateway(
+            server, self.clock, self.cost_model, self.stats, retry_policy=retry_policy
+        )
         self.javascript_enabled = javascript_enabled
         self.hot_policy = hot_policy
         self.hot_observer = hot_observer

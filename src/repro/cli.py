@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 
 from repro.crawler import CrawlerConfig
+from repro.net.faults import FaultInjector, FaultPlan, FaultRule
 from repro.net.server import SimulatedServer
 from repro.parallel import (
     Precrawler,
@@ -79,25 +80,48 @@ def cmd_partition(args: argparse.Namespace) -> int:
 
 def cmd_crawl(args: argparse.Namespace) -> int:
     site = build_site(args.site)
+    server: SimulatedServer = site
+    plan = None
+    if args.fault_rate > 0.0:
+        plan = FaultPlan(
+            [FaultRule(args.fault_pattern, rate=args.fault_rate)],
+            seed=args.fault_seed,
+        )
+        server = FaultInjector(site, plan)
     config = CrawlerConfig(
         max_additional_states=args.max_states,
         use_hot_node=not args.no_hotnode,
+        retry_max_attempts=args.retries,
     )
-    worker = SimpleAjaxCrawler(site, config, traditional=args.traditional)
-    total_pages = total_states = 0
+    worker = SimpleAjaxCrawler(server, config, traditional=args.traditional)
+    total_pages = total_states = total_failed = 0
     total_ms = 0.0
+    failures = []
     for directory in URLPartitioner.list_partitions(args.root):
-        _, summary = worker.crawl_partition_dir(directory)
+        result, summary = worker.crawl_partition_dir(directory)
         total_pages += summary.num_pages
         total_states += summary.total_states
+        total_failed += summary.failed_pages
         total_ms += summary.crawl_time_ms
+        failures.extend(result.failures)
         print(
             f"partition {summary.partition}: {summary.num_pages} pages, "
             f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
+            + (f", {summary.failed_pages} failed" if summary.failed_pages else "")
         )
     mode = "traditional" if args.traditional else "AJAX"
     print(f"{mode} crawl done: {total_pages} pages, {total_states} states, "
           f"{total_ms / 1000:.1f}s virtual total")
+    for failure in failures:
+        # RetriesExhausted messages already carry the attempt count.
+        suffix = "" if "attempt(s)" in failure.error else (
+            f" after {failure.attempts} attempt(s)"
+        )
+        print(f"  failed: {failure.url} ({failure.error}){suffix}")
+    if plan is not None:
+        print(f"fault injection: {plan.num_injected} faults injected "
+              f"(rate {args.fault_rate:.0%} on {args.fault_pattern!r}, "
+              f"seed {args.fault_seed})")
     return 0
 
 
@@ -183,6 +207,19 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--traditional", action="store_true")
     crawl.add_argument("--no-hotnode", action="store_true")
     crawl.add_argument("--max-states", type=int, default=10)
+    crawl.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per network request (1 = no retries)",
+    )
+    crawl.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="inject 5xx responses with probability P (testing robustness)",
+    )
+    crawl.add_argument(
+        "--fault-pattern", default=r"/comments", metavar="REGEX",
+        help="URL regex the injected faults apply to",
+    )
+    crawl.add_argument("--fault-seed", type=int, default=0)
     crawl.set_defaults(fn=cmd_crawl)
 
     index = sub.add_parser("index", help="build an inverted file from crawled models")

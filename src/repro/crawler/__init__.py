@@ -8,7 +8,7 @@
 """
 
 from repro.crawler.ajax import AjaxCrawler
-from repro.crawler.base import Crawler, CrawlResult, PageCrawlResult
+from repro.crawler.base import Crawler, CrawlResult, PageCrawlResult, PageFailure
 from repro.crawler.focused import FocusedAjaxCrawler, InterestProfile
 from repro.crawler.forms import FORM_EVENT_TYPES, FormFillingAjaxCrawler
 from repro.crawler.incremental import CrawlHistory, IncrementalAjaxCrawler
@@ -23,6 +23,7 @@ __all__ = [
     "Crawler",
     "CrawlResult",
     "PageCrawlResult",
+    "PageFailure",
     "CrawlerConfig",
     "DEFAULT_CONFIG",
     "HotNodeCache",

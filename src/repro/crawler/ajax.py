@@ -27,7 +27,8 @@ from repro.crawler.base import Crawler, PageCrawlResult
 from repro.crawler.config import CrawlerConfig, DEFAULT_CONFIG
 from repro.crawler.hotnode import HotNodeCache
 from repro.crawler.metrics import PageMetrics
-from repro.errors import BrowserError
+from repro.dom import changed_regions, region_hashes
+from repro.errors import BrowserError, NetworkError
 from repro.model import ApplicationModel, EventAnnotation, State
 from repro.net import NETWORK_ACCOUNT
 from repro.net.server import SimulatedServer
@@ -52,6 +53,7 @@ class AjaxCrawler(Crawler):
             javascript_enabled=True,
             hot_policy=self.hot_cache if config.use_hot_node else None,
             max_js_steps=config.max_js_steps,
+            retry_policy=config.retry_policy(),
         )
         self._unique_counter = 0
         #: Per-origin granularity hints (None = no hint published).
@@ -83,6 +85,9 @@ class AjaxCrawler(Crawler):
 
         frontier: deque[str] = deque([initial.state_id])
         visited: set[str] = {initial.state_id}
+        #: Events whose dispatch exhausted network retries: firing them
+        #: again from another state would burn the same attempts.
+        quarantined: set[tuple[str, str]] = set()
         events_invoked = 0
 
         while frontier:
@@ -90,6 +95,7 @@ class AjaxCrawler(Crawler):
             state = model.get_state(state_id)
             base_snapshot = snapshots[state_id]
             page.restore(base_snapshot)
+            base_regions = region_hashes(page.document)
             for binding in self._enumerate_events(page):
                 if events_invoked >= self.config.max_event_invocations:
                     frontier.clear()
@@ -99,11 +105,23 @@ class AjaxCrawler(Crawler):
                     # handlers (Delete buttons, logout links, ...).
                     metrics.update_events_skipped += 1
                     continue
+                if self._event_key(binding) in quarantined:
+                    metrics.events_quarantined += 1
+                    continue
                 if self._should_skip_event(state, binding):
                     metrics.events_skipped_from_history += 1
                     continue
                 events_invoked += 1
+                failed_before = self.stats.failed_requests
                 changed = self._dispatch(page, binding)
+                if self.stats.failed_requests > failed_before:
+                    # The event's network call died even after retries:
+                    # quarantine it and roll back — a half-updated DOM
+                    # must not become a model state.
+                    quarantined.add(self._event_key(binding))
+                    metrics.events_quarantined += 1
+                    page.restore(base_snapshot)
+                    continue
                 self._record_event_outcome(state, binding, changed)
                 # Hash the DOM and compare against the model (§3.2): the
                 # expensive part of maintaining the application model.
@@ -130,7 +148,11 @@ class AjaxCrawler(Crawler):
                             handler=binding.handler,
                             input_value=binding.input_value,
                         ),
-                        modified=("recent_comments",),
+                        # ``modif*`` of Algorithm 3.1.1: the region ids
+                        # whose subtree the event actually changed.
+                        modified=changed_regions(
+                            base_regions, region_hashes(page.document)
+                        ),
                     )
                     if (
                         created
@@ -155,6 +177,16 @@ class AjaxCrawler(Crawler):
         except BrowserError:
             # The event's source vanished (stale locator); skip it.
             return False
+        except NetworkError:
+            # A network failure escaped the XHR layer (e.g. a handler
+            # re-raising): treat it like an exhausted request so the
+            # quarantine logic sees it, never crash the page crawl.
+            self.stats.record_exhausted()
+            return False
+
+    def _event_key(self, binding: EventBinding) -> tuple[str, str]:
+        """Identity of an event across states, for quarantining."""
+        return (binding.locator.describe(), binding.event_type)
 
     def _state_hash(self, page: Page) -> str:
         if self.config.state_identity == "text":
@@ -264,7 +296,13 @@ class AjaxCrawler(Crawler):
             try:
                 payload = json.loads(response.body)
                 value = payload.get("max_states")
-                if isinstance(value, (int, float)) and value > 0:
+                # bool is an int subclass: {"max_states": true} must not
+                # silently cap the page at 1 state.
+                if (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and value > 0
+                ):
                     hint = int(value)
             except (ValueError, AttributeError):
                 hint = None

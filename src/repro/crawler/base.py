@@ -18,6 +18,25 @@ class PageCrawlResult:
 
 
 @dataclass
+class PageFailure:
+    """One URL whose crawl failed, with enough context to triage it.
+
+    Deferred/failed representations are a first-class crawl outcome
+    (cf. two-tiered crawling in PAPERS.md), not an exception: the report
+    carries what went wrong, how hard the gateway tried and how much
+    virtual time the attempt burned.
+    """
+
+    url: str
+    #: Human-readable error (the exception message).
+    error: str
+    #: Network attempts made for the failing request (1 = no retries).
+    attempts: int = 1
+    #: Virtual milliseconds spent on the page before giving up.
+    elapsed_ms: float = 0.0
+
+
+@dataclass
 class CrawlResult:
     """Everything produced by crawling a list of URLs."""
 
@@ -26,6 +45,8 @@ class CrawlResult:
     #: URLs whose crawl failed (dead links, server errors) when the
     #: crawler runs in fault-tolerant mode.
     failed_urls: list[str] = field(default_factory=list)
+    #: Per-URL failure records (same URLs as ``failed_urls``, enriched).
+    failures: list[PageFailure] = field(default_factory=list)
 
     def add(self, page_result: PageCrawlResult) -> None:
         self.models.append(page_result.model)
@@ -35,6 +56,7 @@ class CrawlResult:
         self.models.extend(other.models)
         self.report.merge(other.report)
         self.failed_urls.extend(other.failed_urls)
+        self.failures.extend(other.failures)
 
 
 class Crawler:
@@ -47,16 +69,28 @@ class Crawler:
         """Crawl every URL, collecting models and metrics.
 
         By default a page that fails (404, server error, broken script
-        environment) is recorded in ``failed_urls`` and the crawl moves
-        on — a production crawler must survive dead links.  With
-        ``fail_fast=True`` the first failure propagates.
+        environment) is recorded as a :class:`PageFailure` (and in
+        ``failed_urls``) and the crawl moves on — a production crawler
+        must survive dead links.  With ``fail_fast=True`` the first
+        failure propagates.
         """
         result = CrawlResult()
+        clock = getattr(self, "clock", None)
         for url in urls:
+            started_ms = clock.now_ms if clock is not None else 0.0
             try:
                 result.add(self.crawl_page(url))
-            except ReproError:
+            except ReproError as error:
                 if fail_fast:
                     raise
+                elapsed = clock.now_ms - started_ms if clock is not None else 0.0
                 result.failed_urls.append(url)
+                result.failures.append(
+                    PageFailure(
+                        url=url,
+                        error=str(error),
+                        attempts=getattr(error, "attempts", 1),
+                        elapsed_ms=elapsed,
+                    )
+                )
         return result

@@ -10,8 +10,10 @@ explosion and infinite event invocation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.browser.events import DEFAULT_EVENT_TYPES
+from repro.net.faults import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -55,11 +57,31 @@ class CrawlerConfig:
     #: "text" hashes whitespace-normalized visible text, so states that
     #: differ only in markup (counters, styling attributes) collapse.
     state_identity: str = "dom"
+    #: Attempts per network request (1 = no retries, the legacy default,
+    #: which keeps the happy-path benchmarks byte-identical).
+    retry_max_attempts: int = 1
+    #: Backoff before the first retry (exponential afterwards).
+    retry_backoff_base_ms: float = 100.0
+    #: Backoff growth factor per additional retry.
+    retry_backoff_multiplier: float = 2.0
+    #: Deterministic jitter half-range as a fraction of the backoff.
+    retry_jitter: float = 0.1
 
     @property
     def max_states(self) -> int:
         """Total state cap per page (initial + additional)."""
         return self.max_additional_states + 1
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The gateway retry policy these knobs describe (None = legacy)."""
+        if self.retry_max_attempts <= 1:
+            return None
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            backoff_base_ms=self.retry_backoff_base_ms,
+            backoff_multiplier=self.retry_backoff_multiplier,
+            jitter=self.retry_jitter,
+        )
 
 
 #: Convenience default used across tests/benchmarks.

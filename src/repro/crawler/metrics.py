@@ -39,6 +39,10 @@ class PageMetrics:
     #: Events skipped because a previous session proved them no-ops
     #: (incremental recrawling, ch. 10 future work).
     events_skipped_from_history: int = 0
+    #: Events quarantined after their dispatch exhausted network retries
+    #: (the event stays in the model's blind spot rather than killing
+    #: the page crawl).
+    events_quarantined: int = 0
 
     @property
     def processing_time_ms(self) -> float:
@@ -80,6 +84,10 @@ class CrawlReport:
     @property
     def total_cached_hits(self) -> int:
         return sum(page.cached_hits for page in self.pages)
+
+    @property
+    def total_events_quarantined(self) -> int:
+        return sum(page.events_quarantined for page in self.pages)
 
     @property
     def total_time_ms(self) -> float:

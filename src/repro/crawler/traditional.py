@@ -37,6 +37,7 @@ class TraditionalCrawler(Crawler):
             clock=clock,
             cost_model=cost_model,
             javascript_enabled=False,
+            retry_policy=config.retry_policy(),
         )
 
     @property

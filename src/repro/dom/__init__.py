@@ -15,7 +15,7 @@ from repro.dom.node import (
 )
 from repro.dom.parser import HtmlParser, parse_document, parse_fragment, unescape
 from repro.dom.serialize import escape_attribute, escape_text, inner_html, serialize
-from repro.dom.hashing import state_hash, text_hash
+from repro.dom.hashing import changed_regions, region_hashes, state_hash, text_hash
 
 __all__ = [
     "Document",
@@ -34,4 +34,6 @@ __all__ = [
     "escape_attribute",
     "state_hash",
     "text_hash",
+    "region_hashes",
+    "changed_regions",
 ]

@@ -56,6 +56,42 @@ def _feed(
     digest.update(f"</{node.tag}>".encode("utf-8"))
 
 
+def region_hashes(node: Node | Document) -> dict[str, str]:
+    """Per-region content digests: ``id`` attribute → subtree hash.
+
+    The application model annotates each transition with the page
+    regions an event modified (``modif*`` in Algorithm 3.1.1).  Regions
+    are the elements carrying an ``id``; comparing two of these maps
+    (:func:`changed_regions`) yields the ids whose subtree actually
+    changed, instead of a hardcoded guess.
+    """
+    regions: dict[str, str] = {}
+    root = node.root if isinstance(node, Document) else node
+    _collect_regions(root, regions)
+    return regions
+
+
+def _collect_regions(node: Node, regions: dict[str, str]) -> None:
+    if not isinstance(node, Element):
+        return
+    identifier = node.attrs.get("id")
+    if identifier:
+        regions[identifier] = state_hash(node)
+    for child in node.children:
+        _collect_regions(child, regions)
+
+
+def changed_regions(before: dict[str, str], after: dict[str, str]) -> tuple[str, ...]:
+    """Ids whose subtree hash differs between two region maps.
+
+    Regions present on only one side (inserted/removed containers)
+    count as changed.  Nested ids both report when an inner change also
+    alters the outer subtree — callers get the full containment chain.
+    """
+    ids = set(before) | set(after)
+    return tuple(sorted(i for i in ids if before.get(i) != after.get(i)))
+
+
 def text_hash(node: Node | Document) -> str:
     """A hex SHA-256 of just the visible text (a looser identity)."""
     root = node.root if isinstance(node, Document) else node

@@ -49,6 +49,23 @@ class NetworkError(ReproError):
     """A simulated network request could not be served."""
 
 
+class RetriesExhausted(NetworkError):
+    """Every allowed attempt of a request failed.
+
+    Carries the last observed status and the attempt count so callers
+    (XHR surfacing, per-page failure reports) can degrade gracefully.
+    """
+
+    def __init__(self, url: str, status: int, attempts: int):
+        super().__init__(
+            f"request for {url} failed with status {status} "
+            f"after {attempts} attempt(s)"
+        )
+        self.url = url
+        self.status = status
+        self.attempts = attempts
+
+
 class BrowserError(ReproError):
     """The browser substrate failed to load or operate on a page."""
 

@@ -12,6 +12,14 @@ from repro.net.server import (
     StaticServer,
     StatelessnessChecker,
 )
+from repro.net.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    NO_RETRY,
+    RetryPolicy,
+)
 from repro.net.gateway import NETWORK_ACCOUNT, NetworkGateway
 from repro.net.latency import (
     ConstantLatency,
@@ -33,6 +41,12 @@ __all__ = [
     "StatelessnessChecker",
     "NetworkGateway",
     "NETWORK_ACCOUNT",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "NO_RETRY",
     "NetworkStats",
     "HotCallPolicy",
     "XMLHttpRequest",

@@ -5,6 +5,16 @@ Every page load and every XMLHttpRequest goes through a
 latency to the virtual clock and books counters into
 :class:`~repro.net.stats.NetworkStats`.  Having one choke point is what
 makes the "number of AJAX calls" experiments (Figure 7.5) trustworthy.
+
+The gateway is also where fault tolerance lives.  A failed attempt (5xx
+or injected timeout) is *always* charged its latency and booked before
+anything else happens — failures cost time and must show up in the
+stats.  With a :class:`~repro.net.faults.RetryPolicy` attached, retryable
+failures wait an exponential (deterministically jittered) backoff and
+try again up to ``max_attempts``; only then does the gateway raise
+:class:`~repro.errors.RetriesExhausted`.  With no policy (the default)
+behaviour matches the legacy single-attempt gateway, so the happy path
+is bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -12,7 +22,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.clock import CostModel, SimClock
-from repro.errors import NetworkError
+from repro.errors import RetriesExhausted
+from repro.net.faults import RetryPolicy, TIMEOUT_HEADER
 from repro.net.http import Request, Response
 from repro.net.server import SimulatedServer
 from repro.net.stats import NetworkStats
@@ -30,11 +41,13 @@ class NetworkGateway:
         clock: SimClock,
         cost_model: Optional[CostModel] = None,
         stats: Optional[NetworkStats] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.server = server
         self.clock = clock
         self.cost_model = cost_model or CostModel()
         self.stats = stats or NetworkStats()
+        self.retry_policy = retry_policy
 
     def fetch_page(self, url: str) -> Response:
         """Fetch a full page (a traditional page load)."""
@@ -45,10 +58,36 @@ class NetworkGateway:
         return self._request(Request(method.upper(), url, body), kind="ajax")
 
     def _request(self, request: Request, kind: str) -> Response:
-        response = self.server.handle(request)
-        if response.status >= 500:
-            raise NetworkError(f"server error {response.status} for {request.url}")
-        latency = self.cost_model.network_latency_ms(kind, response.body_bytes)
-        self.clock.advance(latency, account=NETWORK_ACCOUNT)
-        self.stats.record(kind, request.url, response.body_bytes, latency)
-        return response
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            response = self.server.handle(request)
+            latency = self._latency_of(kind, response)
+            if response.status < 500:
+                self.clock.advance(latency, account=NETWORK_ACCOUNT)
+                self.stats.record(kind, request.url, response.body_bytes, latency)
+                return response
+            # Failed attempt: charge and book it *before* deciding what
+            # happens next — failures cost time and must be visible.
+            self.clock.advance(latency, account=NETWORK_ACCOUNT)
+            self.stats.record_failure(kind, request.url, response.body_bytes, latency)
+            if policy is not None and policy.should_retry(attempt, response.status):
+                backoff = policy.backoff_ms(attempt, request.url)
+                self.clock.advance(backoff, account=NETWORK_ACCOUNT)
+                self.stats.record_retry(backoff)
+                attempt += 1
+                continue
+            self.stats.record_exhausted()
+            raise RetriesExhausted(request.url, response.status, attempt)
+
+    def _latency_of(self, kind: str, response: Response) -> float:
+        """The virtual latency of one attempt.
+
+        An injected timeout dictates its own wait; everything else draws
+        from the cost model (one draw per attempt, so the happy path
+        consumes exactly the RNG sequence it always did).
+        """
+        timeout = response.headers.get(TIMEOUT_HEADER)
+        if timeout is not None:
+            return float(timeout)
+        return self.cost_model.network_latency_ms(kind, response.body_bytes)

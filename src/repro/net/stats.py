@@ -3,10 +3,22 @@
 The evaluation chapter reports network calls, avoided (cached) calls and
 network time for whole crawls (Figures 7.5-7.7 and Table 7.1), so the
 gateway and the hot-node cache both book into a :class:`NetworkStats`.
+
+Failures are first-class: every attempt that ends in a 5xx/timeout is
+booked (``failed_attempts``, with its latency in both ``network_time_ms``
+and ``retry_time_ms``), every re-attempt counts as a retry, and a request
+that exhausts its attempts counts as a ``failed_request``.  This gives
+the bookkeeping invariant the fault-injection tests assert::
+
+    failed_attempts == retries + failed_requests == faults the plan injected
+
+All mutators take an internal lock so a stats object may be shared
+across threads (the ``run_threaded`` scheduler, shared-browser setups).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -14,9 +26,9 @@ from dataclasses import dataclass, field
 class NetworkStats:
     """Mutable network counters for one crawl (or one crawler process)."""
 
-    #: Full page fetches performed.
+    #: Full page fetches performed (successful).
     page_fetches: int = 0
-    #: AJAX calls that actually went to the server.
+    #: AJAX calls that actually went to the server (successful).
     ajax_calls: int = 0
     #: AJAX calls answered from the hot-node cache (no network).
     cached_hits: int = 0
@@ -24,12 +36,23 @@ class NetworkStats:
     bytes_transferred: int = 0
     #: Virtual milliseconds spent waiting on the network.
     network_time_ms: float = 0.0
-    #: Per-URL request counts (diagnostics).
+    #: Per-URL request counts, failed attempts included (diagnostics).
     requests_by_url: dict[str, int] = field(default_factory=dict)
+    #: Individual attempts that ended in a server error or timeout.
+    failed_attempts: int = 0
+    #: Requests whose every allowed attempt failed (the gateway gave up).
+    failed_requests: int = 0
+    #: Re-attempts performed after a failed attempt.
+    retries: int = 0
+    #: Virtual milliseconds lost to failed attempts and backoff waits.
+    retry_time_ms: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def total_requests(self) -> int:
-        """All requests that hit the network."""
+        """All successful requests that hit the network."""
         return self.page_fetches + self.ajax_calls
 
     @property
@@ -39,26 +62,58 @@ class NetworkStats:
 
     def record(self, kind: str, url: str, body_bytes: int, latency_ms: float) -> None:
         """Book one performed network request."""
-        if kind == "page":
-            self.page_fetches += 1
-        elif kind == "ajax":
-            self.ajax_calls += 1
-        else:
+        if kind not in ("page", "ajax"):
             raise ValueError(f"unknown request kind {kind!r}")
-        self.bytes_transferred += body_bytes
-        self.network_time_ms += latency_ms
-        self.requests_by_url[url] = self.requests_by_url.get(url, 0) + 1
+        with self._lock:
+            if kind == "page":
+                self.page_fetches += 1
+            else:
+                self.ajax_calls += 1
+            self.bytes_transferred += body_bytes
+            self.network_time_ms += latency_ms
+            self.requests_by_url[url] = self.requests_by_url.get(url, 0) + 1
+
+    def record_failure(
+        self, kind: str, url: str, body_bytes: int, latency_ms: float
+    ) -> None:
+        """Book one *failed* attempt: it cost real time and transfer."""
+        if kind not in ("page", "ajax"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        with self._lock:
+            self.failed_attempts += 1
+            self.bytes_transferred += body_bytes
+            self.network_time_ms += latency_ms
+            self.retry_time_ms += latency_ms
+            self.requests_by_url[url] = self.requests_by_url.get(url, 0) + 1
+
+    def record_retry(self, backoff_ms: float) -> None:
+        """Book one re-attempt and the backoff wait preceding it."""
+        with self._lock:
+            self.retries += 1
+            self.network_time_ms += backoff_ms
+            self.retry_time_ms += backoff_ms
+
+    def record_exhausted(self) -> None:
+        """Book one request that failed on every allowed attempt."""
+        with self._lock:
+            self.failed_requests += 1
 
     def record_cache_hit(self) -> None:
         """Book one AJAX call avoided by the hot-node cache."""
-        self.cached_hits += 1
+        with self._lock:
+            self.cached_hits += 1
 
     def merge(self, other: "NetworkStats") -> None:
         """Fold another stats object into this one (parallel crawls)."""
-        self.page_fetches += other.page_fetches
-        self.ajax_calls += other.ajax_calls
-        self.cached_hits += other.cached_hits
-        self.bytes_transferred += other.bytes_transferred
-        self.network_time_ms += other.network_time_ms
-        for url, count in other.requests_by_url.items():
-            self.requests_by_url[url] = self.requests_by_url.get(url, 0) + count
+        with self._lock:
+            self.page_fetches += other.page_fetches
+            self.ajax_calls += other.ajax_calls
+            self.cached_hits += other.cached_hits
+            self.bytes_transferred += other.bytes_transferred
+            self.network_time_ms += other.network_time_ms
+            self.failed_attempts += other.failed_attempts
+            self.failed_requests += other.failed_requests
+            self.retries += other.retries
+            self.retry_time_ms += other.retry_time_ms
+            for url, count in other.requests_by_url.items():
+                self.requests_by_url[url] = self.requests_by_url.get(url, 0) + count

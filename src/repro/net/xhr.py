@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 from urllib.parse import urljoin
 
-from repro.errors import JsTypeError, NetworkError
+from repro.errors import JsTypeError, NetworkError, RetriesExhausted
 from repro.js.debugger import StackFrame
 from repro.js.interpreter import Interpreter
 from repro.js.values import HostConstructor, HostObject, NativeFunction, UNDEFINED, to_string
@@ -72,6 +72,8 @@ class XMLHttpRequest(HostObject):
         self.status = 0.0
         self.response_text = ""
         self._opened = False
+        #: True when the last send() exhausted its network attempts.
+        self.network_failed = False
 
     # -- host protocol ---------------------------------------------------------
 
@@ -121,9 +123,20 @@ class XMLHttpRequest(HostObject):
             self.gateway.stats.record_cache_hit()
             self._notify(signature, from_cache=True)
         else:
-            response = self.gateway.ajax_request(self.method, self.url, body)
+            try:
+                response = self.gateway.ajax_request(self.method, self.url, body)
+            except RetriesExhausted as failure:
+                # Graceful degradation: a dead endpoint must not crash
+                # the interpreter.  Scripts see the failure the way real
+                # pages do — an error status and an empty body.
+                self.response_text = ""
+                self.status = float(failure.status)
+                self.network_failed = True
+                self.ready_state = 4.0
+                return UNDEFINED
             self.response_text = response.body
             self.status = float(response.status)
+            self.network_failed = False
             if self.policy is not None and response.ok:
                 self.policy.store(signature, response.body)
             self._notify(signature, from_cache=False)

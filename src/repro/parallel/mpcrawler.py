@@ -28,6 +28,7 @@ from typing import Optional
 from repro.clock import CostModel
 from repro.crawler import CrawlerConfig, CrawlResult, DEFAULT_CONFIG
 from repro.net.server import SimulatedServer
+from repro.net.stats import NetworkStats
 from repro.parallel.simple import PartitionRunSummary, SimpleAjaxCrawler
 
 
@@ -64,10 +65,17 @@ class ParallelRunResult:
     makespan_ms: float = 0.0
     #: Per-line virtual finish times.
     line_finish_ms: list[float] = field(default_factory=list)
+    #: Network counters merged over every partition worker.
+    stats: NetworkStats = field(default_factory=NetworkStats)
 
     @property
     def total_pages(self) -> int:
         return self.result.report.num_pages
+
+    @property
+    def total_failed_pages(self) -> int:
+        """URLs that failed even after retries, across all partitions."""
+        return len(self.result.failures)
 
     @property
     def mean_time_per_page_ms(self) -> float:
@@ -110,6 +118,7 @@ class MPAjaxCrawler:
         process line with contention-stretched CPU time.
         """
         merged = CrawlResult()
+        merged_stats = NetworkStats()
         summaries: list[PartitionRunSummary] = []
         line_times = [0.0] * self.num_proc_lines
         stretch = self.machine.cpu_stretch(min(self.num_proc_lines, max(len(partitions), 1)))
@@ -122,6 +131,7 @@ class MPAjaxCrawler:
             )
             result, summary = worker.crawl_urls(urls, partition=number)
             merged.merge(result)
+            merged_stats.merge(summary.network)
             summaries.append(summary)
             duration = (
                 self.machine.process_startup_ms
@@ -136,6 +146,7 @@ class MPAjaxCrawler:
             summaries=summaries,
             makespan_ms=max(line_times) if partitions else 0.0,
             line_finish_ms=list(line_times),
+            stats=merged_stats,
         )
 
     # -- real threads -----------------------------------------------------------------
@@ -157,12 +168,14 @@ class MPAjaxCrawler:
             return worker.crawl_urls(urls, partition=number)
 
         merged = CrawlResult()
+        merged_stats = NetworkStats()
         summaries: list[PartitionRunSummary] = []
         with ThreadPoolExecutor(max_workers=self.num_proc_lines) as pool:
             outcomes = list(pool.map(crawl_one, enumerate(partitions, start=1)))
         line_times = [0.0] * self.num_proc_lines
         for result, summary in outcomes:
             merged.merge(result)
+            merged_stats.merge(summary.network)
             summaries.append(summary)
             line = min(range(self.num_proc_lines), key=lambda i: line_times[i])
             line_times[line] += summary.crawl_time_ms
@@ -171,4 +184,5 @@ class MPAjaxCrawler:
             summaries=summaries,
             makespan_ms=max(line_times) if partitions else 0.0,
             line_finish_ms=list(line_times),
+            stats=merged_stats,
         )

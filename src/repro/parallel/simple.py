@@ -9,7 +9,7 @@ partition directory.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
@@ -17,6 +17,7 @@ from repro.clock import CostModel, SimClock
 from repro.crawler import AjaxCrawler, CrawlerConfig, CrawlResult, DEFAULT_CONFIG, TraditionalCrawler
 from repro.model import ApplicationModel
 from repro.net.server import SimulatedServer
+from repro.net.stats import NetworkStats
 from repro.parallel.partitioner import URLPartitioner
 
 #: The serialized application models of one partition (§6.3.2 stored
@@ -34,6 +35,10 @@ class PartitionRunSummary:
     crawl_time_ms: float
     network_time_ms: float
     cpu_time_ms: float
+    #: URLs in this partition whose crawl failed even after retries.
+    failed_pages: int = 0
+    #: The worker's network counters (retries, failures, bytes, ...).
+    network: NetworkStats = field(default_factory=NetworkStats)
 
     @property
     def wall_time_ms(self) -> float:
@@ -76,6 +81,8 @@ class SimpleAjaxCrawler:
             crawl_time_ms=total,
             network_time_ms=network,
             cpu_time_ms=total - network,
+            failed_pages=len(result.failures),
+            network=crawler.stats,
         )
         return result, summary
 

@@ -1,0 +1,260 @@
+"""Tests for fault injection, retry/backoff and gateway failure booking."""
+
+import pytest
+
+from repro.clock import CostModel, SimClock
+from repro.errors import NetworkError, RetriesExhausted
+from repro.js import Interpreter
+from repro.net import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    NetworkGateway,
+    NETWORK_ACCOUNT,
+    Request,
+    RetryPolicy,
+    StaticServer,
+    make_xhr_constructor,
+)
+from repro.net.faults import TIMEOUT_HEADER
+
+
+def make_gateway(pages, plan=None, policy=None):
+    clock = SimClock()
+    server = StaticServer(pages)
+    if plan is not None:
+        server = FaultInjector(server, plan)
+    gateway = NetworkGateway(
+        server, clock, CostModel(network_jitter=0.0), retry_policy=policy
+    )
+    return gateway, clock
+
+
+class TestFaultRule:
+    def test_matches_is_regex_search(self):
+        rule = FaultRule(r"/comments")
+        assert rule.matches("http://s/comments?p=2")
+        assert not rule.matches("http://s/watch?v=1")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", rate=1.5)
+
+    def test_rejects_non_5xx_error(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", status=404)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", kind="gremlin")
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        def run(seed):
+            plan = FaultPlan([FaultRule(r"/c", rate=0.5)], seed=seed)
+            return [
+                plan.decide(Request("GET", f"http://s/c?p={i}")) is not None
+                for i in range(50)
+            ]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)  # astronomically unlikely to collide
+
+    def test_rate_one_always_injects_and_logs(self):
+        plan = FaultPlan([FaultRule(r"/c", rate=1.0, status=503)])
+        for i in range(5):
+            response = plan.decide(Request("GET", f"http://s/c?p={i}"))
+            assert response.status == 503
+        assert plan.num_injected == 5
+        assert [event.seq for event in plan.log] == [0, 1, 2, 3, 4]
+        assert all(event.status == 503 for event in plan.log)
+
+    def test_non_matching_urls_pass_through(self):
+        plan = FaultPlan([FaultRule(r"/c", rate=1.0)])
+        assert plan.decide(Request("GET", "http://s/watch")) is None
+        assert plan.num_injected == 0
+
+    def test_fail_first_then_recover(self):
+        plan = FaultPlan([FaultRule(r"/flaky", fail_first=2)])
+        request = Request("GET", "http://s/flaky")
+        assert plan.decide(request) is not None
+        assert plan.decide(request) is not None
+        assert plan.decide(request) is None  # recovered
+        assert plan.decide(request) is None
+        assert plan.num_injected == 2
+
+    def test_fail_first_counts_per_url(self):
+        plan = FaultPlan([FaultRule(r"/flaky", fail_first=1)])
+        assert plan.decide(Request("GET", "http://s/flaky?a")) is not None
+        assert plan.decide(Request("GET", "http://s/flaky?b")) is not None
+        assert plan.decide(Request("GET", "http://s/flaky?a")) is None
+
+    def test_timeout_fault_carries_latency_header(self):
+        plan = FaultPlan([FaultRule(r"/slow", rate=1.0, kind="timeout", timeout_ms=9000.0)])
+        response = plan.decide(Request("GET", "http://s/slow"))
+        assert response.status == 504
+        assert response.headers[TIMEOUT_HEADER] == "9000.0"
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultRule(r"/c", rate=0.5)], seed=11)
+        first = [plan.decide(Request("GET", f"u/c{i}")) is not None for i in range(20)]
+        plan.reset()
+        second = [plan.decide(Request("GET", f"u/c{i}")) is not None for i in range(20)]
+        assert first == second
+        assert plan.num_injected == sum(second)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_ms=100.0, backoff_multiplier=2.0, jitter=0.0)
+        assert policy.backoff_ms(1) == 100.0
+        assert policy.backoff_ms(2) == 200.0
+        assert policy.backoff_ms(3) == 400.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_ms=100.0, jitter=0.1)
+        first = policy.backoff_ms(1, "http://s/a")
+        assert first == policy.backoff_ms(1, "http://s/a")
+        assert 90.0 <= first <= 110.0
+        # Distinct URLs retry at distinct offsets (no thundering herd).
+        assert first != policy.backoff_ms(1, "http://s/b")
+
+    def test_should_retry_respects_budget_and_status(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1, 500)
+        assert policy.should_retry(2, 503)
+        assert not policy.should_retry(3, 500)  # budget exhausted
+        assert not policy.should_retry(1, 404)  # not retryable
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestGatewayRetries:
+    def test_flaky_endpoint_recovers_after_retry(self):
+        plan = FaultPlan([FaultRule(r"/c", fail_first=1)])
+        gateway, clock = make_gateway(
+            {"http://s/c": "payload"}, plan, RetryPolicy(max_attempts=2, jitter=0.0)
+        )
+        response = gateway.ajax_request("GET", "http://s/c")
+        assert response.body == "payload"
+        stats = gateway.stats
+        assert stats.retries == 1
+        assert stats.failed_attempts == 1
+        assert stats.failed_requests == 0
+        assert stats.ajax_calls == 1
+        assert stats.requests_by_url == {"http://s/c": 2}
+        assert stats.retry_time_ms > 0
+        # Failed attempt + backoff + successful attempt all on the clock.
+        assert clock.spent_on(NETWORK_ACCOUNT) == pytest.approx(stats.network_time_ms)
+
+    def test_exhaustion_raises_with_attempt_count(self):
+        plan = FaultPlan([FaultRule(r"/c", rate=1.0, status=502)])
+        gateway, _ = make_gateway({"http://s/c": "x"}, plan, RetryPolicy(max_attempts=3))
+        with pytest.raises(RetriesExhausted) as excinfo:
+            gateway.ajax_request("GET", "http://s/c")
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.status == 502
+        stats = gateway.stats
+        assert stats.failed_attempts == 3
+        assert stats.retries == 2
+        assert stats.failed_requests == 1
+        assert stats.retries + stats.failed_requests == plan.num_injected
+
+    def test_failure_charged_and_booked_without_retries(self):
+        """Regression: a 5xx must cost latency and appear in the stats
+        even on the legacy no-retry path (it used to vanish)."""
+        plan = FaultPlan([FaultRule(r"/c", rate=1.0)])
+        gateway, clock = make_gateway({"http://s/c": "x"}, plan)  # no policy
+        with pytest.raises(NetworkError):
+            gateway.ajax_request("GET", "http://s/c")
+        assert clock.spent_on(NETWORK_ACCOUNT) > 0
+        assert gateway.stats.requests_by_url == {"http://s/c": 1}
+        assert gateway.stats.failed_attempts == 1
+        assert gateway.stats.failed_requests == 1
+        assert gateway.stats.network_time_ms == pytest.approx(
+            clock.spent_on(NETWORK_ACCOUNT)
+        )
+
+    def test_timeout_charges_advertised_latency(self):
+        plan = FaultPlan(
+            [FaultRule(r"/slow", rate=1.0, kind="timeout", timeout_ms=7500.0)]
+        )
+        gateway, clock = make_gateway({"http://s/slow": "x"}, plan)
+        with pytest.raises(NetworkError):
+            gateway.ajax_request("GET", "http://s/slow")
+        assert clock.spent_on(NETWORK_ACCOUNT) == pytest.approx(7500.0)
+
+    def test_timeouts_are_retryable(self):
+        plan = FaultPlan(
+            [FaultRule(r"/slow", fail_first=1, kind="timeout", timeout_ms=1000.0)]
+        )
+        gateway, _ = make_gateway(
+            {"http://s/slow": "late"}, plan, RetryPolicy(max_attempts=2)
+        )
+        assert gateway.ajax_request("GET", "http://s/slow").body == "late"
+        assert gateway.stats.retries == 1
+
+    def test_zero_fault_plan_with_retries_is_noop(self):
+        """Retry layer enabled + no faults == legacy behaviour, exactly."""
+        pages = {"http://s/a": "hello", "http://s/b": "world"}
+        plain, plain_clock = make_gateway(pages)
+        retrying, retry_clock = make_gateway(
+            pages, FaultPlan([FaultRule(r"/", rate=0.0)]), RetryPolicy(max_attempts=5)
+        )
+        for gateway in (plain, retrying):
+            gateway.fetch_page("http://s/a")
+            gateway.ajax_request("GET", "http://s/b")
+        assert plain_clock.now_ms == retry_clock.now_ms
+        assert plain.stats.network_time_ms == retrying.stats.network_time_ms
+        assert plain.stats.requests_by_url == retrying.stats.requests_by_url
+        assert retrying.stats.retries == 0
+        assert retrying.stats.retry_time_ms == 0.0
+
+
+class TestXhrDegradation:
+    def make_interp(self, pages, plan, policy):
+        clock = SimClock()
+        server = FaultInjector(StaticServer(pages), plan)
+        gateway = NetworkGateway(
+            server, clock, CostModel(network_jitter=0.0), retry_policy=policy
+        )
+        interp = Interpreter()
+        interp.define_global(
+            "XMLHttpRequest", make_xhr_constructor(gateway, base_url="http://s/")
+        )
+        return interp, gateway
+
+    def test_exhausted_send_surfaces_status_not_exception(self):
+        plan = FaultPlan([FaultRule(r"/dead", rate=1.0, status=503)])
+        interp, gateway = self.make_interp(
+            {"http://s/dead": "x"}, plan, RetryPolicy(max_attempts=2)
+        )
+        result = interp.run(
+            """
+            var r = new XMLHttpRequest();
+            r.open('GET', 'http://s/dead', true);
+            r.send(null);
+            [r.status, r.readyState, r.responseText];
+            """
+        )
+        assert result.elements == [503.0, 4.0, ""]
+        assert gateway.stats.failed_requests == 1
+
+    def test_recovered_send_is_transparent(self):
+        plan = FaultPlan([FaultRule(r"/flaky", fail_first=1)])
+        interp, gateway = self.make_interp(
+            {"http://s/flaky": "ok"}, plan, RetryPolicy(max_attempts=2)
+        )
+        result = interp.run(
+            """
+            var r = new XMLHttpRequest();
+            r.open('GET', 'http://s/flaky', true);
+            r.send(null);
+            [r.status, r.responseText];
+            """
+        )
+        assert result.elements == [200.0, "ok"]
+        assert gateway.stats.retries == 1

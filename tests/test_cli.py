@@ -122,6 +122,51 @@ class TestPipeline:
         assert len(payload["state_lengths"]) == 12  # one state per page
 
 
+class TestFaultInjectionFlags:
+    def test_crawl_with_faults_and_retries_completes(self, pipeline, tmp_path, capsys):
+        crawl_root = tmp_path / "faulty"
+        assert main([
+            "partition", "--precrawl", str(pipeline["pre"]),
+            "--size", "4", "--out", str(crawl_root),
+        ]) == 0
+        assert main([
+            "crawl", "--site", pipeline["site"], "--root", str(crawl_root),
+            "--fault-rate", "0.2", "--retries", "3", "--fault-seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "AJAX crawl done: 12 pages" in out
+        assert "fault injection:" in out
+        assert "seed 5" in out
+
+    def test_zero_fault_rate_skips_injection_banner(self, pipeline, tmp_path, capsys):
+        crawl_root = tmp_path / "clean"
+        assert main([
+            "partition", "--precrawl", str(pipeline["pre"]),
+            "--size", "4", "--out", str(crawl_root),
+        ]) == 0
+        assert main([
+            "crawl", "--site", pipeline["site"], "--root", str(crawl_root),
+            "--retries", "3",
+        ]) == 0
+        assert "fault injection:" not in capsys.readouterr().out
+
+    def test_dead_page_listed_in_output(self, pipeline, tmp_path, capsys):
+        crawl_root = tmp_path / "dead"
+        assert main([
+            "partition", "--precrawl", str(pipeline["pre"]),
+            "--size", "4", "--out", str(crawl_root),
+        ]) == 0
+        assert main([
+            "crawl", "--site", pipeline["site"], "--root", str(crawl_root),
+            "--fault-rate", "1.0", "--fault-pattern", r"watch\?v=v00000",
+            "--retries", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failed: http://simtube.test/watch?v=v00000" in out
+        assert "after 2 attempt(s)" in out
+        assert "11 pages" in out
+
+
 class TestArgumentErrors:
     def test_missing_subcommand(self):
         with pytest.raises(SystemExit):
