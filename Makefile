@@ -6,12 +6,21 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-faults bench
+.PHONY: check test bench-faults bench trace-verify trace-regen
 
-check: test bench-faults
+check: test bench-faults trace-verify
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Re-run the seeded golden crawls and diff their event streams against
+# tests/golden/*.jsonl (event-level diff on mismatch).
+trace-verify:
+	$(PYTHON) -m repro.obs.goldens --verify
+
+# Rewrite the goldens after an intentional behaviour change.
+trace-regen:
+	$(PYTHON) -m repro.obs.goldens --regen
 
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable

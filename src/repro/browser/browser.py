@@ -20,6 +20,7 @@ from repro.net.gateway import NetworkGateway
 from repro.net.server import SimulatedServer
 from repro.net.stats import NetworkStats
 from repro.net.xhr import HotCallObserver, HotCallPolicy, make_xhr_constructor
+from repro.obs import NULL_RECORDER
 
 
 class Browser:
@@ -36,12 +37,20 @@ class Browser:
         hot_observer: Optional[HotCallObserver] = None,
         max_js_steps: int = 2_000_000,
         retry_policy: Optional[RetryPolicy] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.clock = clock or SimClock()
         self.cost_model = cost_model or CostModel()
         self.stats = stats or NetworkStats()
+        self.recorder = recorder
+        self.recorder.bind_clock(self.clock)
         self.gateway = NetworkGateway(
-            server, self.clock, self.cost_model, self.stats, retry_policy=retry_policy
+            server,
+            self.clock,
+            self.cost_model,
+            self.stats,
+            retry_policy=retry_policy,
+            recorder=recorder,
         )
         self.javascript_enabled = javascript_enabled
         self.hot_policy = hot_policy

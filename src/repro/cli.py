@@ -6,7 +6,9 @@ shell or a small Swing GUI.  This module is the equivalent CLI::
 
     repro-ajax precrawl  --site simtube:100:7 --out runs/pre --max-pages 100
     repro-ajax partition --precrawl runs/pre --size 20 --out runs/crawl
-    repro-ajax crawl     --site simtube:100:7 --root runs/crawl
+    repro-ajax crawl     --site simtube:100:7 --root runs/crawl \
+                         --trace runs/crawl.trace.jsonl --metrics runs/metrics.json
+    repro-ajax trace summarize runs/crawl.trace.jsonl
     repro-ajax index     --root runs/crawl --out runs/index.json
     repro-ajax search    --index runs/index.json --query "american idol"
     repro-ajax stats     --root runs/crawl
@@ -25,6 +27,14 @@ from pathlib import Path
 from repro.crawler import CrawlerConfig
 from repro.net.faults import FaultInjector, FaultPlan, FaultRule
 from repro.net.server import SimulatedServer
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    NULL_RECORDER,
+    Recorder,
+    format_summary,
+    summarize_jsonl,
+)
 from repro.parallel import (
     Precrawler,
     PrecrawlResult,
@@ -93,12 +103,23 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         use_hot_node=not args.no_hotnode,
         retry_max_attempts=args.retries,
     )
-    worker = SimpleAjaxCrawler(server, config, traditional=args.traditional)
+    sink = None
+    recorder = NULL_RECORDER
+    if args.trace:
+        sink = JsonlTraceSink(args.trace)
+        recorder = Recorder(sink=sink)
+    worker = SimpleAjaxCrawler(
+        server, config, traditional=args.traditional, recorder=recorder
+    )
     total_pages = total_states = total_failed = 0
     total_ms = 0.0
     failures = []
+    metrics = MetricsRegistry() if args.metrics else None
     for directory in URLPartitioner.list_partitions(args.root):
         result, summary = worker.crawl_partition_dir(directory)
+        if metrics is not None:
+            metrics.merge(summary.network.registry)
+            metrics.merge(result.report.registry)
         total_pages += summary.num_pages
         total_states += summary.total_states
         total_failed += summary.failed_pages
@@ -122,6 +143,12 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         print(f"fault injection: {plan.num_injected} faults injected "
               f"(rate {args.fault_rate:.0%} on {args.fault_pattern!r}, "
               f"seed {args.fault_seed})")
+    if sink is not None:
+        sink.close()
+        print(f"trace written to {args.trace}")
+    if metrics is not None:
+        Path(args.metrics).write_text(metrics.to_json(), encoding="utf-8")
+        print(f"metrics written to {args.metrics}")
     return 0
 
 
@@ -161,6 +188,16 @@ def cmd_dot(args: argparse.Namespace) -> int:
                 return 0
     print(f"no crawled model found for {args.url}", file=sys.stderr)
     return 1
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    path = Path(args.trace_file)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+    summary = summarize_jsonl(path.read_text(encoding="utf-8"))
+    print(format_summary(summary))
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -220,6 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="URL regex the injected faults apply to",
     )
     crawl.add_argument("--fault-seed", type=int, default=0)
+    crawl.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="stream a JSONL trace of every crawl event to FILE",
+    )
+    crawl.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="dump the merged metrics registry to FILE as JSON",
+    )
     crawl.set_defaults(fn=cmd_crawl)
 
     index = sub.add_parser("index", help="build an inverted file from crawled models")
@@ -238,6 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="statistics over crawled models")
     stats.add_argument("--root", required=True)
     stats.set_defaults(fn=cmd_stats)
+
+    trace = sub.add_parser("trace", help="inspect JSONL crawl traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="event counts, virtual span and busiest URLs"
+    )
+    trace_summarize.add_argument("trace_file", help="JSONL trace file")
+    trace_summarize.set_defaults(fn=cmd_trace_summarize)
 
     dot = sub.add_parser("dot", help="print one page's transition graph as DOT")
     dot.add_argument("--root", required=True)

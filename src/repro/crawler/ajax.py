@@ -32,6 +32,13 @@ from repro.errors import BrowserError, NetworkError
 from repro.model import ApplicationModel, EventAnnotation, State
 from repro.net import NETWORK_ACCOUNT
 from repro.net.server import SimulatedServer
+from repro.obs import (
+    EVENT_FIRED,
+    NULL_RECORDER,
+    STATE_CAPPED,
+    STATE_DISCOVERED,
+    STATE_DUPLICATE,
+)
 
 
 class AjaxCrawler(Crawler):
@@ -43,8 +50,10 @@ class AjaxCrawler(Crawler):
         config: CrawlerConfig = DEFAULT_CONFIG,
         clock: Optional[SimClock] = None,
         cost_model: Optional[CostModel] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.config = config
+        self.recorder = recorder
         self.hot_cache = HotNodeCache(enabled=config.use_hot_node)
         self.browser = Browser(
             server,
@@ -54,6 +63,7 @@ class AjaxCrawler(Crawler):
             hot_policy=self.hot_cache if config.use_hot_node else None,
             max_js_steps=config.max_js_steps,
             retry_policy=config.retry_policy(),
+            recorder=recorder,
         )
         self._unique_counter = 0
         #: Per-origin granularity hints (None = no hint published).
@@ -81,6 +91,14 @@ class AjaxCrawler(Crawler):
         model = ApplicationModel(url)
         metrics = PageMetrics(url=url)
         initial, _ = self._add_state(model, page, depth=0)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                STATE_DISCOVERED,
+                url=url,
+                state_id=initial.state_id,
+                depth=0,
+                via_event=False,
+            )
         snapshots = {initial.state_id: page.snapshot()}
 
         frontier: deque[str] = deque([initial.state_id])
@@ -120,8 +138,28 @@ class AjaxCrawler(Crawler):
                     # must not become a model state.
                     quarantined.add(self._event_key(binding))
                     metrics.events_quarantined += 1
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            EVENT_FIRED,
+                            url=url,
+                            state_id=state_id,
+                            source=binding.locator.describe(),
+                            trigger=binding.event_type,
+                            changed=bool(changed),
+                            quarantined=True,
+                        )
                     page.restore(base_snapshot)
                     continue
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        EVENT_FIRED,
+                        url=url,
+                        state_id=state_id,
+                        source=binding.locator.describe(),
+                        trigger=binding.event_type,
+                        changed=bool(changed),
+                        quarantined=False,
+                    )
                 self._record_event_outcome(state, binding, changed)
                 # Hash the DOM and compare against the model (§3.2): the
                 # expensive part of maintaining the application model.
@@ -135,8 +173,20 @@ class AjaxCrawler(Crawler):
                     if new_state is None:
                         # State cap reached (section 4.3 "State explosion"):
                         # the target is discarded, no transition recorded.
+                        if self.recorder.enabled:
+                            self.recorder.emit(
+                                STATE_CAPPED, url=url, max_states=max_states
+                            )
                         page.restore(base_snapshot)
                         continue
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            STATE_DISCOVERED if created else STATE_DUPLICATE,
+                            url=url,
+                            state_id=new_state.state_id,
+                            depth=state.depth + 1,
+                            via_event=True,
+                        )
                     if not created:
                         metrics.duplicates_detected += 1
                     model.add_transition(

@@ -4,11 +4,28 @@ Chapter 7 reports per-page crawl times, network-time splits, state and
 event counts, and dataset-level aggregates.  :class:`PageMetrics` is the
 per-page record; :class:`CrawlReport` aggregates a whole crawl and
 exposes exactly the quantities the tables/figures need.
+
+Since the observability layer landed, the aggregate counters live in a
+:class:`~repro.obs.MetricsRegistry` (namespace ``crawl.*``): every
+``add()`` books the page's numbers into the registry, and the
+historical ``total_*`` attributes are thin properties over it, so the
+crawl-level and network-level accounting share one mechanism and merge
+the same way across :class:`~repro.parallel.MPAjaxCrawler` partitions.
+The per-page records are kept as well — Figures 7.3/7.4 need per-page
+distributions, not just totals.
+
+Aggregation detail that matters for reproducibility: ``merge`` re-books
+the other report's pages one at a time, so the float accumulation order
+equals a single-process crawl over the concatenated page list and the
+totals stay bit-identical to the pre-registry implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -54,48 +71,70 @@ class PageMetrics:
         return self.crawl_time_ms / self.states if self.states else 0.0
 
 
-@dataclass
 class CrawlReport:
     """Aggregate of a whole crawl (one crawler over a URL list)."""
 
-    pages: list[PageMetrics] = field(default_factory=list)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.pages: list[PageMetrics] = []
+        #: The backing registry (``crawl.*`` namespace); share one to
+        #: unify accounting with other components, or merge across
+        #: partitions after a parallel crawl.
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def add(self, metrics: PageMetrics) -> None:
         self.pages.append(metrics)
+        registry = self.registry
+        registry.inc("crawl.pages")
+        registry.inc("crawl.states", metrics.states)
+        registry.inc("crawl.events_invoked", metrics.events_invoked)
+        registry.inc("crawl.ajax_calls", metrics.ajax_calls)
+        registry.inc("crawl.cached_hits", metrics.cached_hits)
+        registry.inc("crawl.duplicates_detected", metrics.duplicates_detected)
+        registry.inc("crawl.update_events_skipped", metrics.update_events_skipped)
+        registry.inc(
+            "crawl.events_skipped_from_history", metrics.events_skipped_from_history
+        )
+        registry.inc("crawl.events_quarantined", metrics.events_quarantined)
+        registry.inc("crawl.crawl_time_ms", metrics.crawl_time_ms)
+        registry.inc("crawl.network_time_ms", metrics.network_time_ms)
+        registry.inc("crawl.js_time_ms", metrics.js_time_ms)
+        registry.inc("crawl.parse_time_ms", metrics.parse_time_ms)
+        registry.observe("crawl.page_time_ms", metrics.crawl_time_ms)
+        registry.observe("crawl.states_per_page", metrics.states)
 
-    # -- totals -----------------------------------------------------------------
+    # -- totals (thin properties over the registry) -------------------------------
 
     @property
     def num_pages(self) -> int:
-        return len(self.pages)
+        return int(self.registry.counter("crawl.pages"))
 
     @property
     def total_states(self) -> int:
-        return sum(page.states for page in self.pages)
+        return int(self.registry.counter("crawl.states"))
 
     @property
     def total_events(self) -> int:
-        return sum(page.events_invoked for page in self.pages)
+        return int(self.registry.counter("crawl.events_invoked"))
 
     @property
     def total_ajax_calls(self) -> int:
-        return sum(page.ajax_calls for page in self.pages)
+        return int(self.registry.counter("crawl.ajax_calls"))
 
     @property
     def total_cached_hits(self) -> int:
-        return sum(page.cached_hits for page in self.pages)
+        return int(self.registry.counter("crawl.cached_hits"))
 
     @property
     def total_events_quarantined(self) -> int:
-        return sum(page.events_quarantined for page in self.pages)
+        return int(self.registry.counter("crawl.events_quarantined"))
 
     @property
     def total_time_ms(self) -> float:
-        return sum(page.crawl_time_ms for page in self.pages)
+        return self.registry.counter("crawl.crawl_time_ms")
 
     @property
     def total_network_time_ms(self) -> float:
-        return sum(page.network_time_ms for page in self.pages)
+        return self.registry.counter("crawl.network_time_ms")
 
     # -- means ------------------------------------------------------------------
 
@@ -126,5 +165,10 @@ class CrawlReport:
         return self.num_pages / seconds if seconds > 0 else 0.0
 
     def merge(self, other: "CrawlReport") -> None:
-        """Fold another report into this one (parallel partitions)."""
-        self.pages.extend(other.pages)
+        """Fold another report into this one (parallel partitions).
+
+        Pages are re-booked one at a time (not registry-merged) so the
+        float accumulation order matches a single-process crawl.
+        """
+        for page in other.pages:
+            self.add(page)

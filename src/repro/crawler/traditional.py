@@ -19,6 +19,7 @@ from repro.crawler.metrics import PageMetrics
 from repro.model import ApplicationModel
 from repro.net import NETWORK_ACCOUNT
 from repro.net.server import SimulatedServer
+from repro.obs import NULL_RECORDER
 
 
 class TraditionalCrawler(Crawler):
@@ -30,14 +31,17 @@ class TraditionalCrawler(Crawler):
         config: CrawlerConfig = DEFAULT_CONFIG,
         clock: Optional[SimClock] = None,
         cost_model: Optional[CostModel] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.config = config
+        self.recorder = recorder
         self.browser = Browser(
             server,
             clock=clock,
             cost_model=cost_model,
             javascript_enabled=False,
             retry_policy=config.retry_policy(),
+            recorder=recorder,
         )
 
     @property

@@ -15,10 +15,17 @@ try again up to ``max_attempts``; only then does the gateway raise
 :class:`~repro.errors.RetriesExhausted`.  With no policy (the default)
 behaviour matches the legacy single-attempt gateway, so the happy path
 is bit-for-bit unchanged.
+
+The gateway is likewise the network anchor of the trace bus: each
+request gets a process-unique ``request_id``, every ``retry`` event
+carries it, and every request terminates in exactly one trace event —
+``page_fetch``/``xhr_call`` on success, ``request_failed`` on
+exhaustion — which is the invariant the trace tests lean on.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from repro.clock import CostModel, SimClock
@@ -27,6 +34,7 @@ from repro.net.faults import RetryPolicy, TIMEOUT_HEADER
 from repro.net.http import Request, Response
 from repro.net.server import SimulatedServer
 from repro.net.stats import NetworkStats
+from repro.obs import NULL_RECORDER, PAGE_FETCH, REQUEST_FAILED, RETRY, XHR_CALL
 
 #: Clock account used for all network waits.
 NETWORK_ACCOUNT = "network"
@@ -42,12 +50,16 @@ class NetworkGateway:
         cost_model: Optional[CostModel] = None,
         stats: Optional[NetworkStats] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.server = server
         self.clock = clock
         self.cost_model = cost_model or CostModel()
         self.stats = stats or NetworkStats()
         self.retry_policy = retry_policy
+        self.recorder = recorder
+        self.recorder.bind_clock(clock)
+        self._request_ids = itertools.count(1)
 
     def fetch_page(self, url: str) -> Response:
         """Fetch a full page (a traditional page load)."""
@@ -59,6 +71,8 @@ class NetworkGateway:
 
     def _request(self, request: Request, kind: str) -> Response:
         policy = self.retry_policy
+        recorder = self.recorder
+        request_id = next(self._request_ids) if recorder.enabled else 0
         attempt = 1
         while True:
             response = self.server.handle(request)
@@ -66,6 +80,17 @@ class NetworkGateway:
             if response.status < 500:
                 self.clock.advance(latency, account=NETWORK_ACCOUNT)
                 self.stats.record(kind, request.url, response.body_bytes, latency)
+                if recorder.enabled:
+                    recorder.emit(
+                        PAGE_FETCH if kind == "page" else XHR_CALL,
+                        request_id=request_id,
+                        url=request.url,
+                        status=int(response.status),
+                        bytes=response.body_bytes,
+                        latency_ms=latency,
+                        attempts=attempt,
+                        **({} if kind == "page" else {"from_cache": False}),
+                    )
                 return response
             # Failed attempt: charge and book it *before* deciding what
             # happens next — failures cost time and must be visible.
@@ -75,9 +100,27 @@ class NetworkGateway:
                 backoff = policy.backoff_ms(attempt, request.url)
                 self.clock.advance(backoff, account=NETWORK_ACCOUNT)
                 self.stats.record_retry(backoff)
+                if recorder.enabled:
+                    recorder.emit(
+                        RETRY,
+                        request_id=request_id,
+                        url=request.url,
+                        attempt=attempt,
+                        status=int(response.status),
+                        backoff_ms=backoff,
+                    )
                 attempt += 1
                 continue
             self.stats.record_exhausted()
+            if recorder.enabled:
+                recorder.emit(
+                    REQUEST_FAILED,
+                    request_id=request_id,
+                    url=request.url,
+                    status=int(response.status),
+                    attempts=attempt,
+                    request_kind=kind,
+                )
             raise RetriesExhausted(request.url, response.status, attempt)
 
     def _latency_of(self, kind: str, response: Response) -> float:

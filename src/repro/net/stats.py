@@ -1,8 +1,16 @@
-"""Counters for network activity.
+"""Counters for network activity, backed by the metrics registry.
 
 The evaluation chapter reports network calls, avoided (cached) calls and
 network time for whole crawls (Figures 7.5-7.7 and Table 7.1), so the
 gateway and the hot-node cache both book into a :class:`NetworkStats`.
+
+Since the observability layer landed, :class:`NetworkStats` is a *thin
+attribute view* over a :class:`~repro.obs.MetricsRegistry`: every
+counter lives in the registry under the ``net.*`` namespace (the single
+source of truth, shared with the trace bus and the CLI ``--metrics``
+dump), and the historical attributes (``page_fetches``, ``retries``,
+...) are read-only properties so every existing caller and test keeps
+working.  Mutation still goes through the ``record_*`` methods.
 
 Failures are first-class: every attempt that ends in a 5xx/timeout is
 booked (``failed_attempts``, with its latency in both ``network_time_ms``
@@ -12,43 +20,82 @@ the bookkeeping invariant the fault-injection tests assert::
 
     failed_attempts == retries + failed_requests == faults the plan injected
 
-All mutators take an internal lock so a stats object may be shared
+The registry takes a lock per operation, so a stats object may be shared
 across threads (the ``run_threaded`` scheduler, shared-browser setups).
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Registry namespace of every network counter.
+NET_PREFIX = "net."
 
 
-@dataclass
 class NetworkStats:
-    """Mutable network counters for one crawl (or one crawler process)."""
+    """Network counters for one crawl, viewed over a metrics registry."""
 
-    #: Full page fetches performed (successful).
-    page_fetches: int = 0
-    #: AJAX calls that actually went to the server (successful).
-    ajax_calls: int = 0
-    #: AJAX calls answered from the hot-node cache (no network).
-    cached_hits: int = 0
-    #: Total bytes transferred.
-    bytes_transferred: int = 0
-    #: Virtual milliseconds spent waiting on the network.
-    network_time_ms: float = 0.0
-    #: Per-URL request counts, failed attempts included (diagnostics).
-    requests_by_url: dict[str, int] = field(default_factory=dict)
-    #: Individual attempts that ended in a server error or timeout.
-    failed_attempts: int = 0
-    #: Requests whose every allowed attempt failed (the gateway gave up).
-    failed_requests: int = 0
-    #: Re-attempts performed after a failed attempt.
-    retries: int = 0
-    #: Virtual milliseconds lost to failed attempts and backoff waits.
-    retry_time_ms: float = 0.0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: The backing registry; share one to unify accounting, or merge
+        #: per-partition registries after a parallel crawl.
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- the historical attribute API (thin properties) -------------------------
+
+    @property
+    def page_fetches(self) -> int:
+        """Full page fetches performed (successful)."""
+        return int(self.registry.counter("net.page_fetches"))
+
+    @property
+    def ajax_calls(self) -> int:
+        """AJAX calls that actually went to the server (successful)."""
+        return int(self.registry.counter("net.ajax_calls"))
+
+    @property
+    def cached_hits(self) -> int:
+        """AJAX calls answered from the hot-node cache (no network)."""
+        return int(self.registry.counter("net.cached_hits"))
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes transferred."""
+        return int(self.registry.counter("net.bytes_transferred"))
+
+    @property
+    def network_time_ms(self) -> float:
+        """Virtual milliseconds spent waiting on the network."""
+        return self.registry.counter("net.network_time_ms")
+
+    @property
+    def failed_attempts(self) -> int:
+        """Individual attempts that ended in a server error or timeout."""
+        return int(self.registry.counter("net.failed_attempts"))
+
+    @property
+    def failed_requests(self) -> int:
+        """Requests whose every allowed attempt failed (gateway gave up)."""
+        return int(self.registry.counter("net.failed_requests"))
+
+    @property
+    def retries(self) -> int:
+        """Re-attempts performed after a failed attempt."""
+        return int(self.registry.counter("net.retries"))
+
+    @property
+    def retry_time_ms(self) -> float:
+        """Virtual milliseconds lost to failed attempts and backoff waits."""
+        return self.registry.counter("net.retry_time_ms")
+
+    @property
+    def requests_by_url(self) -> dict[str, int]:
+        """Per-URL request counts, failed attempts included (diagnostics)."""
+        return {
+            url: int(count)
+            for url, count in self.registry.labeled_values("net.requests", "url").items()
+        }
 
     @property
     def total_requests(self) -> int:
@@ -60,18 +107,21 @@ class NetworkStats:
         """AJAX call attempts, whether served by network or cache."""
         return self.ajax_calls + self.cached_hits
 
+    # -- mutation -----------------------------------------------------------------
+
     def record(self, kind: str, url: str, body_bytes: int, latency_ms: float) -> None:
         """Book one performed network request."""
         if kind not in ("page", "ajax"):
             raise ValueError(f"unknown request kind {kind!r}")
-        with self._lock:
-            if kind == "page":
-                self.page_fetches += 1
-            else:
-                self.ajax_calls += 1
-            self.bytes_transferred += body_bytes
-            self.network_time_ms += latency_ms
-            self.requests_by_url[url] = self.requests_by_url.get(url, 0) + 1
+        registry = self.registry
+        if kind == "page":
+            registry.inc("net.page_fetches")
+        else:
+            registry.inc("net.ajax_calls")
+        registry.inc("net.bytes_transferred", body_bytes)
+        registry.inc("net.network_time_ms", latency_ms)
+        registry.inc("net.requests", 1, url=url)
+        registry.observe("net.latency_ms", latency_ms, kind=kind)
 
     def record_failure(
         self, kind: str, url: str, body_bytes: int, latency_ms: float
@@ -79,41 +129,28 @@ class NetworkStats:
         """Book one *failed* attempt: it cost real time and transfer."""
         if kind not in ("page", "ajax"):
             raise ValueError(f"unknown request kind {kind!r}")
-        with self._lock:
-            self.failed_attempts += 1
-            self.bytes_transferred += body_bytes
-            self.network_time_ms += latency_ms
-            self.retry_time_ms += latency_ms
-            self.requests_by_url[url] = self.requests_by_url.get(url, 0) + 1
+        registry = self.registry
+        registry.inc("net.failed_attempts")
+        registry.inc("net.bytes_transferred", body_bytes)
+        registry.inc("net.network_time_ms", latency_ms)
+        registry.inc("net.retry_time_ms", latency_ms)
+        registry.inc("net.requests", 1, url=url)
 
     def record_retry(self, backoff_ms: float) -> None:
         """Book one re-attempt and the backoff wait preceding it."""
-        with self._lock:
-            self.retries += 1
-            self.network_time_ms += backoff_ms
-            self.retry_time_ms += backoff_ms
+        registry = self.registry
+        registry.inc("net.retries")
+        registry.inc("net.network_time_ms", backoff_ms)
+        registry.inc("net.retry_time_ms", backoff_ms)
 
     def record_exhausted(self) -> None:
         """Book one request that failed on every allowed attempt."""
-        with self._lock:
-            self.failed_requests += 1
+        self.registry.inc("net.failed_requests")
 
     def record_cache_hit(self) -> None:
         """Book one AJAX call avoided by the hot-node cache."""
-        with self._lock:
-            self.cached_hits += 1
+        self.registry.inc("net.cached_hits")
 
     def merge(self, other: "NetworkStats") -> None:
         """Fold another stats object into this one (parallel crawls)."""
-        with self._lock:
-            self.page_fetches += other.page_fetches
-            self.ajax_calls += other.ajax_calls
-            self.cached_hits += other.cached_hits
-            self.bytes_transferred += other.bytes_transferred
-            self.network_time_ms += other.network_time_ms
-            self.failed_attempts += other.failed_attempts
-            self.failed_requests += other.failed_requests
-            self.retries += other.retries
-            self.retry_time_ms += other.retry_time_ms
-            for url, count in other.requests_by_url.items():
-                self.requests_by_url[url] = self.requests_by_url.get(url, 0) + count
+        self.registry.merge(other.registry)

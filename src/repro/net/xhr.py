@@ -15,6 +15,12 @@ the hot-node policy can step in:
 The observer wiring of the thesis (AJAXDocument observing
 ``HTMLDocumentImpl``) collapses here into the ``observer`` callback that
 fires for every hot call with its stack signature.
+
+``send`` is also a trace-bus anchor: every cache consultation emits a
+``hotnode_cache_hit``/``hotnode_cache_miss`` event, and a cache-served
+call emits its own ``xhr_call`` (``from_cache=true``) so that, together
+with the gateway's network-side ``xhr_call`` events, every AJAX call a
+script makes shows up exactly once in the trace.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.js.debugger import StackFrame
 from repro.js.interpreter import Interpreter
 from repro.js.values import HostConstructor, HostObject, NativeFunction, UNDEFINED, to_string
 from repro.net.gateway import NetworkGateway
+from repro.obs import HOTNODE_CACHE_HIT, HOTNODE_CACHE_MISS, XHR_CALL
 
 
 class HotCallPolicy:
@@ -116,13 +123,29 @@ class XMLHttpRequest(HostObject):
             raise NetworkError("XMLHttpRequest.send() before open()")
         body = "" if not args or args[0] in (None, UNDEFINED) else to_string(args[0])
         signature = self._stack_signature(interp)
+        recorder = self.gateway.recorder
         cached = self.policy.lookup(signature) if self.policy is not None else None
         if cached is not None:
             self.response_text = cached
             self.status = 200.0
             self.gateway.stats.record_cache_hit()
+            if recorder.enabled:
+                recorder.emit(
+                    HOTNODE_CACHE_HIT, url=self.url, signature=signature
+                )
+                recorder.emit(
+                    XHR_CALL,
+                    url=self.url,
+                    status=200,
+                    bytes=len(cached),
+                    from_cache=True,
+                )
             self._notify(signature, from_cache=True)
         else:
+            if self.policy is not None and recorder.enabled:
+                recorder.emit(
+                    HOTNODE_CACHE_MISS, url=self.url, signature=signature
+                )
             try:
                 response = self.gateway.ajax_request(self.method, self.url, body)
             except RetriesExhausted as failure:

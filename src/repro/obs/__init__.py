@@ -1,0 +1,81 @@
+"""Unified observability: the trace-event bus and the metrics registry.
+
+``repro.obs`` is the substrate behind every number in the evaluation
+chapter.  The :class:`Recorder` collects typed, virtual-clock-stamped
+:class:`TraceEvent` objects from the whole pipeline (network gateway,
+XHR/hot-node layer, crawler, index, query engine); the
+:class:`MetricsRegistry` is the single home of counters/gauges/
+histograms, mergeable exactly across crawl partitions.  Both are
+zero-cost when disabled — the default :data:`NULL_RECORDER` does
+nothing, and untraced runs stay byte-identical to pre-observability
+builds.
+
+See docs/API.md (event schema table) and ``repro.obs.goldens`` for the
+golden-trace regression harness.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_FIRED,
+    HOTNODE_CACHE_HIT,
+    HOTNODE_CACHE_MISS,
+    INDEX_FLUSH,
+    PAGE_FETCH,
+    QUERY_EVAL,
+    REQUEST_FAILED,
+    RETRY,
+    STATE_CAPPED,
+    STATE_DISCOVERED,
+    STATE_DUPLICATE,
+    TraceEvent,
+    XHR_CALL,
+    from_jsonl,
+    to_jsonl,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    JsonlTraceSink,
+    MemorySink,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+)
+from repro.obs.trace import (
+    diff_traces,
+    format_summary,
+    normalize_lines,
+    summarize,
+    summarize_jsonl,
+)
+
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "PAGE_FETCH",
+    "XHR_CALL",
+    "HOTNODE_CACHE_HIT",
+    "HOTNODE_CACHE_MISS",
+    "RETRY",
+    "REQUEST_FAILED",
+    "EVENT_FIRED",
+    "STATE_DISCOVERED",
+    "STATE_DUPLICATE",
+    "STATE_CAPPED",
+    "INDEX_FLUSH",
+    "QUERY_EVAL",
+    "to_jsonl",
+    "from_jsonl",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MemorySink",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "normalize_lines",
+    "diff_traces",
+    "summarize",
+    "summarize_jsonl",
+    "format_summary",
+]

@@ -1,0 +1,150 @@
+"""Golden-trace corpora and the regression harness around them.
+
+Because the virtual clock and every RNG are seeded, a crawl of a fixed
+corpus emits a byte-stable canonical trace.  Two small corpora are
+checked in under ``tests/golden/``:
+
+* **webmail** — one AJAX crawl of SimMail's inbox (folder tabs, AJAX
+  folder loads, destructive events that must be skipped),
+* **youtube** — an AJAX crawl of the first :data:`YOUTUBE_VIDEOS`
+  SimTube videos (hot-node cache traffic, duplicate states).
+
+``make trace-verify`` re-runs both crawls and diffs the event streams
+against the goldens; any change to crawl order, cache behaviour, retry
+accounting or state dedup fails loudly with an event-level diff instead
+of silently drifting away from the paper's figures.  When a change is
+*intentional*, regenerate with::
+
+    python -m repro.obs.goldens --regen
+
+and commit the new golden files together with the change that explains
+them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.obs.recorder import Recorder
+from repro.obs.trace import diff_traces, normalize_lines
+from repro.obs.events import TraceEvent, to_jsonl
+from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
+
+#: Where the golden traces live, relative to the repo root.
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+#: SimTube size/seed of the youtube golden corpus (small on purpose —
+#: goldens are reviewed by humans).
+YOUTUBE_VIDEOS = 3
+YOUTUBE_SEED = 7
+
+#: Fields a golden comparison is allowed to mask.  Empty by default:
+#: the whole pipeline is deterministic, so everything is asserted.
+ALLOWED_DRIFT_FIELDS: tuple[str, ...] = ()
+
+
+def webmail_trace() -> list[TraceEvent]:
+    """The canonical trace of the seeded SimMail crawl."""
+    site = SyntheticWebmail()
+    recorder = Recorder(clock=SimClock())
+    crawler = AjaxCrawler(
+        site, CrawlerConfig(), clock=recorder.clock, cost_model=CostModel(), recorder=recorder
+    )
+    crawler.crawl([site.inbox_url])
+    return recorder.events
+
+
+def youtube_trace() -> list[TraceEvent]:
+    """The canonical trace of the seeded SimTube crawl."""
+    site = SyntheticYouTube(SiteConfig(num_videos=YOUTUBE_VIDEOS, seed=YOUTUBE_SEED))
+    recorder = Recorder(clock=SimClock())
+    crawler = AjaxCrawler(
+        site, CrawlerConfig(), clock=recorder.clock, cost_model=CostModel(), recorder=recorder
+    )
+    crawler.crawl([site.video_url(i) for i in range(YOUTUBE_VIDEOS)])
+    return recorder.events
+
+
+#: corpus name -> (golden filename, trace producer).
+CORPORA = {
+    "webmail": ("webmail_trace.jsonl", webmail_trace),
+    "youtube": ("youtube_trace.jsonl", youtube_trace),
+}
+
+
+def golden_path(corpus: str) -> Path:
+    return GOLDEN_DIR / CORPORA[corpus][0]
+
+
+def current_lines(corpus: str) -> list[str]:
+    """The freshly produced, normalized trace of one corpus."""
+    events = CORPORA[corpus][1]()
+    return normalize_lines(
+        to_jsonl(events).splitlines(), drop_fields=ALLOWED_DRIFT_FIELDS
+    )
+
+
+def verify(corpus: str) -> list[str]:
+    """Diff a fresh crawl against the checked-in golden.
+
+    Returns the problem lines (empty = match).
+    """
+    path = golden_path(corpus)
+    if not path.exists():
+        return [f"golden trace missing: {path} (run --regen and commit it)"]
+    expected = normalize_lines(
+        path.read_text(encoding="utf-8").splitlines(),
+        drop_fields=ALLOWED_DRIFT_FIELDS,
+    )
+    return diff_traces(expected, current_lines(corpus))
+
+
+def regenerate(corpus: str) -> Path:
+    """Overwrite one golden trace with a fresh crawl's canonical output."""
+    path = golden_path(corpus)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(current_lines(corpus)) + "\n", encoding="utf-8")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.goldens",
+        description="Verify or regenerate the golden crawl traces.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--verify", action="store_true", help="diff against goldens")
+    mode.add_argument("--regen", action="store_true", help="rewrite the goldens")
+    parser.add_argument(
+        "--corpus", choices=sorted(CORPORA), action="append", default=None,
+        help="limit to one corpus (default: all)",
+    )
+    args = parser.parse_args(argv)
+    corpora = args.corpus or sorted(CORPORA)
+    failed = False
+    for corpus in corpora:
+        if args.regen:
+            path = regenerate(corpus)
+            print(f"{corpus}: regenerated {path}")
+            continue
+        problems = verify(corpus)
+        if problems:
+            failed = True
+            print(f"{corpus}: TRACE MISMATCH against {golden_path(corpus)}")
+            for line in problems:
+                print(f"  {line}")
+            print(
+                "  (if this change is intentional: "
+                "python -m repro.obs.goldens --regen and commit)"
+            )
+        else:
+            print(f"{corpus}: trace matches golden ({golden_path(corpus).name})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

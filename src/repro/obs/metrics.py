@@ -1,0 +1,180 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` is the single source of truth for every
+number the evaluation chapter reports: network counters
+(:class:`~repro.net.stats.NetworkStats` is a thin attribute view over a
+registry), crawl aggregates (:class:`~repro.crawler.metrics.CrawlReport`
+books each page into one), cache behaviour, retry accounting.
+
+Metrics are addressed by ``(name, sorted label items)``.  All mutators
+take an internal lock so a registry may be shared across threads (the
+``run_threaded`` scheduler).  Registries **merge**: folding the
+per-partition registries of an :class:`~repro.parallel.MPAjaxCrawler`
+run — in any order or grouping — yields exactly the registry a
+single-process crawl of the same work would have produced.  The
+property-based tests in ``tests/obs`` assert this associativity /
+commutativity; it is what makes partitioned cost accounting trustworthy.
+
+Merge semantics per instrument:
+
+* counters add,
+* gauges keep the maximum (the only order-insensitive choice that is
+  also useful for high-water marks),
+* histograms add bucket-wise (all registries share the same fixed
+  bucket bounds, so the merge is exact, not approximate).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterator, Mapping, Optional, Sequence
+
+#: (metric name, canonicalized labels) — the registry key.
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+#: Default histogram bucket upper bounds (virtual ms / generic scale).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                   1000.0, 2500.0, 5000.0, 10000.0, float("inf"))
+
+
+def _key(name: str, labels: Mapping[str, object]) -> MetricKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class Histogram:
+    """Fixed-bucket histogram; exact under merge."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+        self.count += 1
+        self.sum += value
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.count += other.count
+        self.sum += other.sum
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": [b if b != float("inf") else "inf" for b in self.bounds],
+            "counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Lock-protected counters/gauges/histograms, mergeable exactly."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+
+    # -- mutation ---------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` to the counter ``name{labels}``."""
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name{labels}`` (merge keeps the max)."""
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into the histogram ``name{labels}``."""
+        key = _key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.observe(value)
+
+    # -- reads -------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> float:
+        """Current value of one counter (0.0 when never incremented)."""
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels: object) -> Optional[float]:
+        return self._gauges.get(_key(name, labels))
+
+    def histogram(self, name: str, **labels: object) -> Optional[Histogram]:
+        return self._histograms.get(_key(name, labels))
+
+    def counters_named(self, name: str) -> Iterator[tuple[dict[str, str], float]]:
+        """All label sets of counter ``name`` with their values."""
+        for (metric, labels), value in list(self._counters.items()):
+            if metric == name:
+                yield dict(labels), value
+
+    def labeled_values(self, name: str, label: str) -> dict[str, float]:
+        """Counter ``name`` pivoted on one label (insertion-ordered)."""
+        out: dict[str, float] = {}
+        for labels, value in self.counters_named(name):
+            if label in labels:
+                out[labels[label]] = value
+        return out
+
+    # -- merge --------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (exact, order-insensitive
+        up to float-addition rounding)."""
+        with other._lock:
+            counters = dict(other._counters)
+            gauges = dict(other._gauges)
+            histograms = {k: h for k, h in other._histograms.items()}
+        with self._lock:
+            for key, value in counters.items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for key, value in gauges.items():
+                current = self._gauges.get(key)
+                self._gauges[key] = value if current is None else max(current, value)
+            for key, histogram in histograms.items():
+                mine = self._histograms.get(key)
+                if mine is None:
+                    mine = self._histograms[key] = Histogram(histogram.bounds)
+                mine.merge(histogram)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A canonical, JSON-able view (sorted keys; comparison-friendly)."""
+        def render(key: MetricKey) -> str:
+            name, labels = key
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        with self._lock:
+            return {
+                "counters": {render(k): v for k, v in sorted(self._counters.items())},
+                "gauges": {render(k): v for k, v in sorted(self._gauges.items())},
+                "histograms": {
+                    render(k): h.to_dict() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)

@@ -1,0 +1,131 @@
+"""The trace-event bus: a :class:`Recorder` stamps and collects events.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  Tracing is off by default; the crawl
+   hot path must not pay for it.  Every instrumented component holds a
+   recorder that defaults to :data:`NULL_RECORDER`, whose ``enabled``
+   is False and whose :meth:`~NullRecorder.emit` returns immediately.
+   Hot paths with expensive field construction guard on
+   ``recorder.enabled`` first.  Crucially, the disabled path draws no
+   randomness and charges no virtual time, so traced and untraced runs
+   of the same seed produce byte-identical experiment outputs.
+
+2. **Determinism.**  The sequence number is a lock-protected monotonic
+   counter; timestamps come from the shared virtual clock.  A seeded
+   crawl therefore yields the same canonical trace on every run.
+
+3. **Bounded memory.**  Events go to a sink; the default in-memory sink
+   keeps them all (tests, summaries), the JSONL sink streams them to a
+   file for long crawls.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Optional, TextIO
+
+from repro.clock import SimClock
+from repro.obs.events import TraceEvent
+
+
+class MemorySink:
+    """Keeps every event in a list (the default sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class JsonlTraceSink:
+    """Streams events to a JSONL file as they are emitted."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+
+    def write(self, event: TraceEvent) -> None:
+        if self._handle is None:
+            raise ValueError(f"trace sink {self.path} already closed")
+        self._handle.write(event.to_json() + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class Recorder:
+    """An enabled trace bus bound to a virtual clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[SimClock] = None, sink: Optional[Any] = None) -> None:
+        self.clock = clock
+        self.sink = sink if sink is not None else MemorySink()
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Late-bind the clock (components that create their own)."""
+        if self.clock is None:
+            self.clock = clock
+
+    def rebind_clock(self, clock: SimClock) -> None:
+        """Force a new clock (a worker starting a fresh partition)."""
+        self.clock = clock
+
+    def emit(self, kind: str, **fields: Any) -> TraceEvent:
+        """Stamp and record one event; returns it (tests, chaining).
+
+        ``kind``, ``seq`` and ``t_ms`` are reserved — they are the
+        envelope, not payload field names.
+        """
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            t_ms = self.clock.now_ms if self.clock is not None else 0.0
+            event = TraceEvent(seq=seq, t_ms=t_ms, kind=kind, fields=fields)
+            self.sink.write(event)
+        return event
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events (only for sinks that retain them)."""
+        return getattr(self.sink, "events", [])
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class NullRecorder:
+    """The disabled bus: every emit is an immediate no-op."""
+
+    enabled = False
+    clock = None
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def bind_clock(self, clock: SimClock) -> None:
+        return None
+
+    def rebind_clock(self, clock: SimClock) -> None:
+        return None
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return []
+
+    def close(self) -> None:
+        return None
+
+
+#: The shared disabled recorder every component defaults to.
+NULL_RECORDER = NullRecorder()

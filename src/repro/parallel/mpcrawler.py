@@ -23,12 +23,13 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.clock import CostModel
 from repro.crawler import CrawlerConfig, CrawlResult, DEFAULT_CONFIG
 from repro.net.server import SimulatedServer
 from repro.net.stats import NetworkStats
+from repro.obs import NULL_RECORDER
 from repro.parallel.simple import PartitionRunSummary, SimpleAjaxCrawler
 
 
@@ -69,6 +70,11 @@ class ParallelRunResult:
     stats: NetworkStats = field(default_factory=NetworkStats)
 
     @property
+    def registry(self):
+        """The merged metrics registry over all partitions."""
+        return self.stats.registry
+
+    @property
     def total_pages(self) -> int:
         return self.result.report.num_pages
 
@@ -98,6 +104,7 @@ class MPAjaxCrawler:
         traditional: bool = False,
         machine: MachineModel = MachineModel(),
         cost_model: Optional[CostModel] = None,
+        recorder_factory: Optional[Callable[[int], object]] = None,
     ) -> None:
         if num_proc_lines < 1:
             raise ValueError("need at least one process line")
@@ -107,6 +114,17 @@ class MPAjaxCrawler:
         self.traditional = traditional
         self.machine = machine
         self.cost_model = cost_model
+        #: Optional per-partition trace recorders: called with the
+        #: partition number, returns the recorder that partition's
+        #: worker uses (traces cannot share one sequence across
+        #: concurrent partitions without losing determinism).
+        self.recorder_factory = recorder_factory
+
+    def _recorder_for(self, partition: int):
+        """The trace recorder one partition's worker should use."""
+        if self.recorder_factory is None:
+            return NULL_RECORDER
+        return self.recorder_factory(partition)
 
     # -- simulated scheduler -------------------------------------------------------
 
@@ -128,6 +146,7 @@ class MPAjaxCrawler:
                 self.config,
                 traditional=self.traditional,
                 cost_model=self.cost_model,
+                recorder=self._recorder_for(number),
             )
             result, summary = worker.crawl_urls(urls, partition=number)
             merged.merge(result)
@@ -164,6 +183,7 @@ class MPAjaxCrawler:
                 self.config,
                 traditional=self.traditional,
                 cost_model=self.cost_model,
+                recorder=self._recorder_for(number),
             )
             return worker.crawl_urls(urls, partition=number)
 

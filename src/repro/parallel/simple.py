@@ -18,6 +18,7 @@ from repro.crawler import AjaxCrawler, CrawlerConfig, CrawlResult, DEFAULT_CONFI
 from repro.model import ApplicationModel
 from repro.net.server import SimulatedServer
 from repro.net.stats import NetworkStats
+from repro.obs import NULL_RECORDER
 from repro.parallel.partitioner import URLPartitioner
 
 #: The serialized application models of one partition (§6.3.2 stored
@@ -54,22 +55,33 @@ class SimpleAjaxCrawler:
         config: CrawlerConfig = DEFAULT_CONFIG,
         traditional: bool = False,
         cost_model: Optional[CostModel] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.server = server
         self.config = config
         self.traditional = traditional
         self.cost_model = cost_model
+        self.recorder = recorder
 
     def crawl_urls(self, urls: list[str], partition: int = 0) -> tuple[CrawlResult, PartitionRunSummary]:
         """Crawl a URL list; returns models plus a timing summary."""
         clock = SimClock()
+        self.recorder.rebind_clock(clock)
         if self.traditional:
             crawler = TraditionalCrawler(
-                self.server, self.config, clock=clock, cost_model=self.cost_model
+                self.server,
+                self.config,
+                clock=clock,
+                cost_model=self.cost_model,
+                recorder=self.recorder,
             )
         else:
             crawler = AjaxCrawler(
-                self.server, self.config, clock=clock, cost_model=self.cost_model
+                self.server,
+                self.config,
+                clock=clock,
+                cost_model=self.cost_model,
+                recorder=self.recorder,
             )
         result = crawler.crawl(urls)
         network = result.report.total_network_time_ms

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.model import ApplicationModel
+from repro.obs import NULL_RECORDER, QUERY_EVAL
 from repro.search.index import InvertedFile
 from repro.search.query import Match, evaluate
 from repro.search.ranking import RankingWeights, ajaxrank, term_proximity
@@ -38,11 +39,13 @@ class SearchEngine:
         pageranks: Optional[dict[str, float]] = None,
         ajaxranks: Optional[dict[tuple[str, str], float]] = None,
         weights: RankingWeights = RankingWeights(),
+        recorder=NULL_RECORDER,
     ) -> None:
         self.index = index
         self.pageranks = pageranks or {}
         self.ajaxranks = ajaxranks or {}
         self.weights = weights
+        self.recorder = recorder
 
     # -- construction ----------------------------------------------------------
 
@@ -53,15 +56,24 @@ class SearchEngine:
         pageranks: Optional[dict[str, float]] = None,
         weights: RankingWeights = RankingWeights(),
         max_state_index: Optional[int] = None,
+        recorder=NULL_RECORDER,
     ) -> "SearchEngine":
         """Index models and precompute every page's AJAXRank."""
         models = list(models)
-        index = InvertedFile(max_state_index=max_state_index).build(models)
+        index = InvertedFile(max_state_index=max_state_index, recorder=recorder).build(
+            models
+        )
         ajaxranks: dict[tuple[str, str], float] = {}
         for model in models:
             for state_id, rank in ajaxrank(model).items():
                 ajaxranks[(model.url, state_id)] = rank
-        return cls(index, pageranks=pageranks, ajaxranks=ajaxranks, weights=weights)
+        return cls(
+            index,
+            pageranks=pageranks,
+            ajaxranks=ajaxranks,
+            weights=weights,
+            recorder=recorder,
+        )
 
     # -- querying ----------------------------------------------------------------
 
@@ -72,6 +84,13 @@ class SearchEngine:
         idfs = [self.index.idf(term) for term in terms]
         results = [self._score(match, terms, idfs) for match in matches]
         results.sort(key=lambda result: (-result.score, result.uri, result.state_id))
+        if self.recorder.enabled:
+            self.recorder.emit(
+                QUERY_EVAL,
+                query=query,
+                terms=len(terms),
+                matches=len(matches),
+            )
         return results[:limit] if limit is not None else results
 
     def result_count(self, query: str) -> int:

@@ -20,6 +20,7 @@ from typing import Iterable, Optional
 
 from repro.errors import SearchError
 from repro.model import ApplicationModel
+from repro.obs import INDEX_FLUSH, NULL_RECORDER
 from repro.search.postings import Posting, sort_postings
 from repro.search.tokenizer import tokenize_with_positions
 
@@ -31,7 +32,9 @@ class InvertedFile:
         self,
         max_state_index: Optional[int] = None,
         stopwords: Optional[frozenset[str]] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
+        self.recorder = recorder
         #: Only states with index < max_state_index are indexed
         #: (None = all states).  ``1`` reproduces a traditional index.
         self.max_state_index = max_state_index
@@ -114,6 +117,12 @@ class InvertedFile:
         for term in self._postings:
             self._postings[term] = sort_postings(self._postings[term])
         self._sorted = True
+        if self.recorder.enabled:
+            self.recorder.emit(
+                INDEX_FLUSH,
+                num_states=self.num_states,
+                vocabulary=self.vocabulary_size,
+            )
 
     # -- lookups ------------------------------------------------------------------
 

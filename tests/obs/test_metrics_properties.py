@@ -1,0 +1,147 @@
+"""Property-based tests (seeded, stdlib-only) for registry merging and
+the network-stats fault-accounting invariant.
+
+The central claim of :meth:`MetricsRegistry.merge` is that partitioned
+accounting is lossless: however a workload's metric operations are
+split across k registries, and however the k registries are folded back
+together (order, grouping), the result equals the registry a single
+process applying every operation would have produced.  Gauge merge
+keeps the max, so the generated gauge values increase monotonically
+with the global operation index — making last-write-wins (the single
+process) and max (the merge) coincide, which is exactly the high-water
+mark contract gauges are used for.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.clock import CostModel
+from repro.crawler import CrawlerConfig
+from repro.net.faults import FaultInjector, FaultPlan, FaultRule
+from repro.obs import MetricsRegistry
+from repro.parallel import SimpleAjaxCrawler
+from repro.sites import SiteConfig, SyntheticYouTube
+
+METRIC_NAMES = ["crawl.pages", "net.bytes", "net.time_ms", "cache.hits"]
+LABEL_SETS = [{}, {"url": "a"}, {"url": "b"}, {"kind": "page"}, {"url": "a", "kind": "ajax"}]
+
+
+def random_ops(rng, count):
+    """A workload: (op, name, value, labels) tuples.
+
+    Gauge values equal the global op index so single-process
+    last-write-wins and merge-time max agree (see module docstring).
+    """
+    ops = []
+    for index in range(count):
+        op = rng.choice(["inc", "inc", "inc", "gauge", "observe"])
+        name = rng.choice(METRIC_NAMES)
+        labels = rng.choice(LABEL_SETS)
+        if op == "inc":
+            value = rng.choice([1.0, 2.0, 0.5])
+        elif op == "gauge":
+            value = float(index)
+        else:
+            value = rng.uniform(0.0, 2000.0)
+        ops.append((op, name, value, labels))
+    return ops
+
+
+def apply_ops(registry, ops):
+    for op, name, value, labels in ops:
+        if op == "inc":
+            registry.inc(name, value, **labels)
+        elif op == "gauge":
+            registry.set_gauge(name, value, **labels)
+        else:
+            registry.observe(name, value, **labels)
+    return registry
+
+
+def assert_snapshots_equal(a, b):
+    """Snapshot equality up to float-addition rounding."""
+    assert a["counters"].keys() == b["counters"].keys()
+    for key in a["counters"]:
+        assert math.isclose(a["counters"][key], b["counters"][key], rel_tol=1e-9), key
+    assert a["gauges"] == b["gauges"]
+    assert a["histograms"].keys() == b["histograms"].keys()
+    for key in a["histograms"]:
+        ha, hb = a["histograms"][key], b["histograms"][key]
+        assert ha["counts"] == hb["counts"], key
+        assert ha["count"] == hb["count"], key
+        assert math.isclose(ha["sum"], hb["sum"], rel_tol=1e-9), key
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_partitioned_merge_equals_single_process(seed):
+    """Round-robin the ops over k registries, merge left-to-right."""
+    rng = random.Random(seed)
+    ops = random_ops(rng, rng.randint(20, 120))
+    k = rng.randint(1, 5)
+    partitions = [[] for _ in range(k)]
+    for index, op in enumerate(ops):
+        partitions[index % k].append(op)
+    single = apply_ops(MetricsRegistry(), ops)
+    merged = MetricsRegistry()
+    for partition in partitions:
+        merged.merge(apply_ops(MetricsRegistry(), partition))
+    assert_snapshots_equal(merged.snapshot(), single.snapshot())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_merge_is_commutative_and_associative(seed):
+    """Any merge order and any grouping yields the same snapshot."""
+    rng = random.Random(1000 + seed)
+    ops = random_ops(rng, rng.randint(20, 100))
+    k = rng.randint(2, 5)
+    partitions = [[] for _ in range(k)]
+    for index, op in enumerate(ops):
+        partitions[rng.randrange(k)].append(op)
+
+    def build():
+        return [apply_ops(MetricsRegistry(), partition) for partition in partitions]
+
+    # Left fold in shuffled order.
+    order = list(range(k))
+    rng.shuffle(order)
+    shuffled = MetricsRegistry()
+    registries = build()
+    for index in order:
+        shuffled.merge(registries[index])
+    # Pairwise tree fold in original order.
+    registries = build()
+    while len(registries) > 1:
+        merged_pairs = []
+        for i in range(0, len(registries) - 1, 2):
+            registries[i].merge(registries[i + 1])
+            merged_pairs.append(registries[i])
+        if len(registries) % 2:
+            merged_pairs.append(registries[-1])
+        registries = merged_pairs
+    assert_snapshots_equal(shuffled.snapshot(), registries[0].snapshot())
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fault_accounting_invariant_under_random_plans(seed):
+    """Every injected fault is booked exactly once:
+    ``retries + failed_requests == failed_attempts == len(plan.log)``."""
+    rng = random.Random(77 + seed)
+    rules = [FaultRule(r"/comments", rate=rng.uniform(0.1, 0.6), status=rng.choice([500, 502, 503]))]
+    if rng.random() < 0.5:
+        rules.append(FaultRule(r"/watch", rate=rng.uniform(0.0, 0.3), status=503))
+    if rng.random() < 0.5:
+        rules.append(FaultRule(r"p=2", fail_first=rng.randint(1, 3)))
+    plan = FaultPlan(rules, seed=seed)
+    site = SyntheticYouTube(SiteConfig(num_videos=6, seed=seed))
+    config = CrawlerConfig(retry_max_attempts=rng.randint(1, 4))
+    worker = SimpleAjaxCrawler(
+        FaultInjector(site, plan),
+        config,
+        cost_model=CostModel(network_jitter=0.0),
+    )
+    _, summary = worker.crawl_urls([site.video_url(i) for i in range(4)])
+    stats = summary.network
+    assert stats.failed_attempts == len(plan.log) == plan.num_injected
+    assert stats.retries + stats.failed_requests == len(plan.log)

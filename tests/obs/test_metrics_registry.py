@@ -1,0 +1,127 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        registry = MetricsRegistry()
+        registry.inc("crawl.pages")
+        registry.inc("crawl.pages", 2.0)
+        assert registry.counter("crawl.pages") == 3.0
+
+    def test_never_incremented_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0.0
+
+    def test_labels_address_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("net.requests", url="a")
+        registry.inc("net.requests", url="b")
+        registry.inc("net.requests", url="a")
+        assert registry.counter("net.requests", url="a") == 2.0
+        assert registry.counter("net.requests", url="b") == 1.0
+        assert registry.counter("net.requests") == 0.0
+
+    def test_label_order_is_canonicalized(self):
+        registry = MetricsRegistry()
+        registry.inc("m", a="1", b="2")
+        assert registry.counter("m", b="2", a="1") == 1.0
+
+    def test_labeled_values_pivot(self):
+        registry = MetricsRegistry()
+        registry.inc("net.requests", 3, url="a")
+        registry.inc("net.requests", 1, url="b")
+        assert registry.labeled_values("net.requests", "url") == {"a": 3.0, "b": 1.0}
+
+
+class TestGauges:
+    def test_set_and_read(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("heap.mb", 12.0)
+        registry.set_gauge("heap.mb", 9.0)
+        assert registry.gauge("heap.mb") == 9.0
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge("nope") is None
+
+
+class TestHistograms:
+    def test_observe_fills_correct_bucket(self):
+        histogram = Histogram(bounds=(1.0, 10.0, float("inf")))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        histogram.observe(99.0)
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(104.5)
+
+    def test_registry_observe_creates_default_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("net.latency_ms", 42.0, kind="page")
+        histogram = registry.histogram("net.latency_ms", kind="page")
+        assert histogram.bounds == DEFAULT_BUCKETS
+        assert histogram.count == 1
+
+    def test_merge_mismatched_bounds_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("m", 2, url="x")
+        b.inc("m", 3, url="x")
+        b.inc("m", 1, url="y")
+        a.merge(b)
+        assert a.counter("m", url="x") == 5.0
+        assert a.counter("m", url="y") == 1.0
+
+    def test_gauges_keep_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 4.0)
+        b.set_gauge("g", 7.0)
+        b.set_gauge("only_b", 1.0)
+        a.merge(b)
+        assert a.gauge("g") == 7.0
+        assert a.gauge("only_b") == 1.0
+
+    def test_histograms_add_bucket_wise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 3.0)
+        b.observe("h", 3.0)
+        b.observe("h", 9999.0)
+        a.merge(b)
+        merged = a.histogram("h")
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(10005.0)
+
+    def test_merge_does_not_mutate_source(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("m")
+        a.merge(b)
+        a.inc("m")
+        assert b.counter("m") == 1.0
+
+
+class TestSnapshot:
+    def test_label_rendering_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.inc("net.requests", b="2", a="1")
+        registry.inc("plain")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"net.requests{a=1,b=2}": 1.0, "plain": 1.0}
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 3.0)
+        payload = json.loads(registry.to_json())
+        assert payload["counters"]["c"] == 2.0
+        assert payload["gauges"]["g"] == 1.0
+        assert payload["histograms"]["h"]["count"] == 1
