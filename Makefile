@@ -6,9 +6,9 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-faults bench trace-verify trace-regen
+.PHONY: check test bench-faults bench-smoke bench trace-verify trace-regen
 
-check: test bench-faults trace-verify
+check: test bench-faults bench-smoke trace-verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,12 @@ trace-regen:
 
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable
+
+# Cheap hashing-work regression gate: re-measures the Merkle hasher
+# against the full-rewalk baseline and enforces the >=5x hashed-bytes
+# threshold (writes benchmarks/results/BENCH_hashing.json).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_perf_hashing.py -q --benchmark-disable
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

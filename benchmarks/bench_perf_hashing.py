@@ -1,0 +1,217 @@
+"""Hashing-work benchmark: Merkle incremental hashing vs the seed full rewalk.
+
+Crawls the webmail and youtube corpora twice — ``incremental_hashing=False``
+reproduces the seed's full-rewalk baseline, ``True`` is the shipped Merkle
+path — and compares the hashing work booked in the ``crawl.hash_*``
+registry counters.  A query suite then times the galloping conjunction
+merge against the historical linear merge.  Results are persisted as
+``benchmarks/results/BENCH_hashing.json``.
+
+The acceptance threshold (>=5x fewer hashed bytes per event on webmail)
+is asserted here, so ``make bench-smoke`` / ``make check`` fail on a
+hashing-work regression.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.dom import clear_digest_memo
+from repro.search.engine import SearchEngine
+from repro.search.postings import merge_conjunction
+from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
+
+RESULT_PATH = Path(__file__).resolve().parent / "results" / "BENCH_hashing.json"
+
+#: Acceptance threshold: hashed bytes per event on the webmail corpus
+#: must drop by at least this factor vs the seed full-rewalk baseline.
+MIN_BYTES_REDUCTION = 5.0
+
+YOUTUBE_VIDEOS = 8
+
+_COUNTERS = (
+    "events_invoked",
+    "hash_nodes_hashed",
+    "hash_nodes_skipped",
+    "hash_bytes_hashed",
+    "hash_full_passes",
+    "hash_incremental_passes",
+)
+
+
+def _corpus(name):
+    if name == "webmail":
+        site = SyntheticWebmail()
+        return site, [site.inbox_url]
+    site = SyntheticYouTube(SiteConfig(num_videos=YOUTUBE_VIDEOS, seed=7))
+    return site, [site.video_url(i) for i in range(YOUTUBE_VIDEOS)]
+
+
+def _crawl(name, incremental):
+    clear_digest_memo()  # each mode starts cold: no cross-run hashing credit
+    site, urls = _corpus(name)
+    crawler = AjaxCrawler(
+        site,
+        CrawlerConfig(incremental_hashing=incremental),
+        clock=SimClock(),
+        cost_model=CostModel(),
+    )
+    start = time.perf_counter()
+    result = crawler.crawl(urls)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    registry = result.report.registry
+    record = {key: registry.counter(f"crawl.{key}") for key in _COUNTERS}
+    events = record["events_invoked"] or 1
+    record["bytes_per_event"] = record["hash_bytes_hashed"] / events
+    record["crawl_wall_ms"] = wall_ms
+    hashes = sorted(
+        state.content_hash for model in result.models for state in model.states()
+    )
+    return record, hashes, result.models
+
+
+def _naive_merge(lists):
+    """The seed linear merge, kept here as the timing baseline."""
+    if not lists:
+        return []
+    if any(not postings for postings in lists):
+        return []
+    cursors = [0] * len(lists)
+    results = []
+    while all(cursors[i] < len(lists[i]) for i in range(len(lists))):
+        keys = [lists[i][cursors[i]].sort_key for i in range(len(lists))]
+        largest = max(keys)
+        if all(key == largest for key in keys):
+            results.append([lists[i][cursors[i]] for i in range(len(lists))])
+            for i in range(len(lists)):
+                cursors[i] += 1
+            continue
+        for i in range(len(lists)):
+            if keys[i] < largest:
+                cursors[i] += 1
+    return results
+
+
+def _query_suite(models):
+    """Multi-term conjunctions over the crawled corpus + a skewed case."""
+    engine = SearchEngine.build(models)
+    index = engine.index
+    by_frequency = sorted(
+        index._postings, key=lambda term: len(index._postings[term]), reverse=True
+    )
+    frequent = by_frequency[:4]
+    rare = by_frequency[len(by_frequency) // 2 : len(by_frequency) // 2 + 4]
+    queries = [
+        " ".join(frequent[:2]),
+        " ".join(frequent[:3]),
+        f"{frequent[0]} {rare[0]}",
+        f"{frequent[1]} {frequent[2]} {rare[1]}",
+        " ".join(rare[:2]),
+    ]
+    start = time.perf_counter()
+    total_results = sum(len(engine.search(query)) for query in queries)
+    engine_wall_ms = (time.perf_counter() - start) * 1000.0
+
+    # Merge-only timing on the actual posting lists of the suite.
+    posting_sets = [
+        [index.postings(term) for term in query.split()] for query in queries
+    ]
+    repeats = 50
+    start = time.perf_counter()
+    for _ in range(repeats):
+        galloping = [merge_conjunction(lists) for lists in posting_sets]
+    galloping_ms = (time.perf_counter() - start) * 1000.0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        naive = [_naive_merge(lists) for lists in posting_sets]
+    naive_ms = (time.perf_counter() - start) * 1000.0
+    assert galloping == naive, "galloping merge diverged from the linear merge"
+
+    return {
+        "queries": queries,
+        "total_results": total_results,
+        "engine_wall_ms": engine_wall_ms,
+        "merge_repeats": repeats,
+        "galloping_merge_ms": galloping_ms,
+        "naive_merge_ms": naive_ms,
+    }
+
+
+def _skewed_merge_timing():
+    """The galloping win case: one long list, one short selective list."""
+    from repro.search.postings import Posting, sort_postings
+
+    long_list = sort_postings(
+        [
+            Posting(uri=f"http://site/{i // 50}", state_id=f"s{i % 50}", positions=(0,))
+            for i in range(40_000)
+        ]
+    )
+    short_list = [long_list[i] for i in range(0, 40_000, 4000)]
+    start = time.perf_counter()
+    galloping = merge_conjunction([long_list, short_list])
+    galloping_ms = (time.perf_counter() - start) * 1000.0
+    start = time.perf_counter()
+    naive = _naive_merge([long_list, short_list])
+    naive_ms = (time.perf_counter() - start) * 1000.0
+    assert galloping == naive
+    return {
+        "long_list": len(long_list),
+        "short_list": len(short_list),
+        "galloping_ms": galloping_ms,
+        "naive_ms": naive_ms,
+        "speedup": naive_ms / galloping_ms if galloping_ms else float("inf"),
+    }
+
+
+def hashing_study():
+    corpora = {}
+    merkle_models = []
+    for name in ("webmail", "youtube"):
+        baseline, baseline_hashes, _ = _crawl(name, incremental=False)
+        merkle, merkle_hashes, models = _crawl(name, incremental=True)
+        assert merkle_hashes == baseline_hashes, f"{name}: state hashes diverged"
+        merkle_models.extend(models)
+        corpora[name] = {
+            "baseline": baseline,
+            "merkle": merkle,
+            "bytes_reduction_factor": baseline["bytes_per_event"]
+            / max(merkle["bytes_per_event"], 1e-9),
+            "nodes_reduction_factor": baseline["hash_nodes_hashed"]
+            / max(merkle["hash_nodes_hashed"], 1),
+            "hashes_identical": True,
+        }
+    report = {
+        "corpora": corpora,
+        "query_suite": _query_suite(merkle_models),
+        "skewed_merge": _skewed_merge_timing(),
+        "threshold": {
+            "min_bytes_reduction": MIN_BYTES_REDUCTION,
+            "webmail_bytes_reduction": corpora["webmail"]["bytes_reduction_factor"],
+            "passed": corpora["webmail"]["bytes_reduction_factor"]
+            >= MIN_BYTES_REDUCTION,
+        },
+    }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_hashing_benchmark(benchmark):
+    report = benchmark.pedantic(hashing_study, rounds=1, iterations=1)
+    for name, corpus in report["corpora"].items():
+        print(
+            f"[{name}] bytes/event: {corpus['baseline']['bytes_per_event']:.0f} -> "
+            f"{corpus['merkle']['bytes_per_event']:.0f} "
+            f"({corpus['bytes_reduction_factor']:.1f}x)"
+        )
+        assert corpus["hashes_identical"]
+        # The Merkle path actually skips work on every corpus.
+        assert corpus["merkle"]["hash_nodes_skipped"] > 0
+        assert corpus["baseline"]["hash_nodes_skipped"] == 0
+    # Acceptance: >=5x fewer hashed bytes per event on webmail.
+    assert report["threshold"]["passed"], report["threshold"]
+    # Galloping wins clearly on the skewed case and never changes results.
+    assert report["skewed_merge"]["speedup"] > 3.0, report["skewed_merge"]

@@ -38,6 +38,7 @@ class Browser:
         max_js_steps: int = 2_000_000,
         retry_policy: Optional[RetryPolicy] = None,
         recorder=NULL_RECORDER,
+        incremental_hashing: bool = True,
     ) -> None:
         self.clock = clock or SimClock()
         self.cost_model = cost_model or CostModel()
@@ -56,6 +57,7 @@ class Browser:
         self.hot_policy = hot_policy
         self.hot_observer = hot_observer
         self.max_js_steps = max_js_steps
+        self.incremental_hashing = incremental_hashing
 
     def load(self, url: str, run_scripts: bool = True, run_onload: bool = True) -> Page:
         """Fetch ``url`` and build a page.
@@ -78,6 +80,7 @@ class Browser:
             clock=self.clock,
             cost_model=self.cost_model,
             javascript_enabled=self.javascript_enabled,
+            incremental_hashing=self.incremental_hashing,
         )
         interpreter.define_global(
             "XMLHttpRequest",

@@ -26,7 +26,16 @@ from repro.browser.events import (
     onload_handler,
 )
 from repro.clock import CostModel, SimClock
-from repro.dom import Document, Element, parse_document, serialize, state_hash
+from repro.dom import (
+    Document,
+    DomHashes,
+    Element,
+    HashStats,
+    hash_tree,
+    parse_document,
+    reference_state_hash,
+    serialize,
+)
 from repro.errors import BrowserError, JavascriptError
 from repro.js import Interpreter
 
@@ -43,6 +52,10 @@ class PageSnapshot:
     html: str
     globals_snapshot: dict[str, Any]
     hash: str
+    #: Lazily parsed master tree (with warm Merkle hash caches) that
+    #: :meth:`Page.restore` clones instead of re-parsing ``html`` on
+    #: every rollback.  Populated on first restore; never mutated.
+    master: Optional[Document] = None
 
 
 class Page:
@@ -56,6 +69,7 @@ class Page:
         clock: SimClock,
         cost_model: CostModel,
         javascript_enabled: bool = True,
+        incremental_hashing: bool = True,
     ) -> None:
         self.url = url
         self.document = document
@@ -63,6 +77,13 @@ class Page:
         self.clock = clock
         self.cost_model = cost_model
         self.javascript_enabled = javascript_enabled
+        #: When True (default) state/region hashing reuses the Merkle
+        #: subtree caches and rollbacks clone a warm master tree; False
+        #: reproduces the seed full-rewalk + re-parse behaviour (the
+        #: baseline mode of the hashing benchmark).
+        self.incremental_hashing = incremental_hashing
+        #: Hashing work accounting for this page (all passes, all kinds).
+        self.hash_stats = HashStats()
         self.document_host = DocumentHost(self)
         self.window_host = WindowHost(self)
         self._element_hosts: dict[int, ElementHost] = {}
@@ -181,7 +202,17 @@ class Page:
 
     def content_hash(self) -> str:
         """Hash identifying the current DOM state (duplicate detection)."""
-        return state_hash(self.document)
+        if self.incremental_hashing:
+            return hash_tree(self.document, stats=self.hash_stats).state
+        return reference_state_hash(self.document, stats=self.hash_stats)
+
+    def hash_state(self) -> DomHashes:
+        """One combined Merkle pass: state hash plus full region map.
+
+        Re-hashes only subtrees dirtied since the last pass (or the
+        last :meth:`restore`, whose cloned master arrives fully cached).
+        """
+        return hash_tree(self.document, stats=self.hash_stats)
 
     def snapshot(self) -> PageSnapshot:
         """Capture DOM and script globals for a later :meth:`restore`."""
@@ -192,8 +223,24 @@ class Page:
         )
 
     def restore(self, snapshot: PageSnapshot) -> None:
-        """Roll the page back to ``snapshot`` (DOM and script variables)."""
-        self.document = parse_document(snapshot.html, url=self.url)
+        """Roll the page back to ``snapshot`` (DOM and script variables).
+
+        The virtual clock is always charged the full re-parse cost (the
+        simulated browser still parses); with incremental hashing the
+        *wall-clock* work is a clone of the snapshot's master tree,
+        which carries warm Merkle caches so the post-rollback base
+        hashes are cache reads instead of full re-hashes.
+        """
+        if self.incremental_hashing:
+            master = snapshot.master
+            if master is None:
+                master = parse_document(snapshot.html, url=self.url)
+                # Warm the caches once; every later restore clones them.
+                hash_tree(master, stats=self.hash_stats)
+                snapshot.master = master
+            self.document = master.clone()
+        else:
+            self.document = parse_document(snapshot.html, url=self.url)
         self.clock.advance(
             self.cost_model.html_parse_ms(len(snapshot.html)), PARSE_ACCOUNT
         )

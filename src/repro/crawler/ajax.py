@@ -27,13 +27,15 @@ from repro.crawler.base import Crawler, PageCrawlResult
 from repro.crawler.config import CrawlerConfig, DEFAULT_CONFIG
 from repro.crawler.hotnode import HotNodeCache
 from repro.crawler.metrics import PageMetrics
-from repro.dom import changed_regions, region_hashes
+from repro.dom import DomHashes, changed_regions, reference_region_hashes
 from repro.errors import BrowserError, NetworkError
 from repro.model import ApplicationModel, EventAnnotation, State
 from repro.net import NETWORK_ACCOUNT
 from repro.net.server import SimulatedServer
 from repro.obs import (
     EVENT_FIRED,
+    HASH_FULL,
+    HASH_INCREMENTAL,
     NULL_RECORDER,
     STATE_CAPPED,
     STATE_DISCOVERED,
@@ -64,6 +66,7 @@ class AjaxCrawler(Crawler):
             max_js_steps=config.max_js_steps,
             retry_policy=config.retry_policy(),
             recorder=recorder,
+            incremental_hashing=config.incremental_hashing,
         )
         self._unique_counter = 0
         #: Per-origin granularity hints (None = no hint published).
@@ -90,7 +93,17 @@ class AjaxCrawler(Crawler):
 
         model = ApplicationModel(url)
         metrics = PageMetrics(url=url)
-        initial, _ = self._add_state(model, page, depth=0)
+        if self.config.incremental_hashing:
+            # One combined pass hashes the loaded DOM and warms the
+            # subtree caches, so _add_state and snapshot() below are
+            # cache reads instead of further full walks.
+            initial_hashes = page.hash_state()
+            self._trace_hash_pass(url, initial_hashes)
+            initial, _ = self._add_state(
+                model, page, depth=0, content_hash=self._identity_hash(page, initial_hashes)
+            )
+        else:
+            initial, _ = self._add_state(model, page, depth=0)
         if self.recorder.enabled:
             self.recorder.emit(
                 STATE_DISCOVERED,
@@ -113,7 +126,16 @@ class AjaxCrawler(Crawler):
             state = model.get_state(state_id)
             base_snapshot = snapshots[state_id]
             page.restore(base_snapshot)
-            base_regions = region_hashes(page.document)
+            if self.config.incremental_hashing:
+                # The restored clone carries the snapshot master's warm
+                # caches: this pass is close to a pure cache read.
+                base_pass = page.hash_state()
+                self._trace_hash_pass(url, base_pass, state_id=state_id)
+                base_regions = base_pass.regions
+            else:
+                base_regions = reference_region_hashes(
+                    page.document, stats=page.hash_stats
+                )
             for binding in self._enumerate_events(page):
                 if events_invoked >= self.config.max_event_invocations:
                     frontier.clear()
@@ -167,8 +189,25 @@ class AjaxCrawler(Crawler):
                     self.browser.cost_model.state_diff_ms, account="model"
                 )
                 if changed:
+                    if self.config.incremental_hashing:
+                        # The one combined hash call per event: state
+                        # hash and region map from a single pass that
+                        # re-hashes only the subtrees the event dirtied.
+                        event_pass = page.hash_state()
+                        self._trace_hash_pass(url, event_pass, state_id=state_id)
+                        content_hash = self._identity_hash(page, event_pass)
+                        after_regions = event_pass.regions
+                    else:
+                        content_hash = None
+                        after_regions = reference_region_hashes(
+                            page.document, stats=page.hash_stats
+                        )
                     new_state, created = self._resolve_state(
-                        model, page, depth=state.depth + 1, max_states=max_states
+                        model,
+                        page,
+                        depth=state.depth + 1,
+                        max_states=max_states,
+                        content_hash=content_hash,
                     )
                     if new_state is None:
                         # State cap reached (section 4.3 "State explosion"):
@@ -200,9 +239,7 @@ class AjaxCrawler(Crawler):
                         ),
                         # ``modif*`` of Algorithm 3.1.1: the region ids
                         # whose subtree the event actually changed.
-                        modified=changed_regions(
-                            base_regions, region_hashes(page.document)
-                        ),
+                        modified=changed_regions(base_regions, after_regions),
                     )
                     if (
                         created
@@ -217,6 +254,7 @@ class AjaxCrawler(Crawler):
 
         model.compute_depths()
         self._fill_metrics(metrics, model, events_invoked, watch, counters_before)
+        self._fill_hash_metrics(metrics, page)
         return PageCrawlResult(model=model, metrics=metrics)
 
     # -- internals ---------------------------------------------------------------------
@@ -245,10 +283,46 @@ class AjaxCrawler(Crawler):
             return text_hash(page.document)
         return page.content_hash()
 
+    def _identity_hash(self, page: Page, hashes: DomHashes) -> Optional[str]:
+        """The state-identity hash a combined pass already yields.
+
+        Returns ``None`` for the "text" identity mode, whose looser
+        hash is not derivable from the canonical DOM digest — callers
+        fall back to :meth:`_state_hash`.
+        """
+        if self.config.state_identity == "text":
+            return None
+        return hashes.state
+
+    def _trace_hash_pass(
+        self, url: str, hashes: DomHashes, state_id: Optional[str] = None
+    ) -> None:
+        """Emit one ``hash_full``/``hash_incremental`` trace event.
+
+        Gated on ``config.trace_hashing`` (off by default) so traces
+        recorded before this event kind existed stay byte-identical.
+        """
+        if not (self.config.trace_hashing and self.recorder.enabled):
+            return
+        self.recorder.emit(
+            HASH_INCREMENTAL if hashes.incremental else HASH_FULL,
+            url=url,
+            state_id=state_id,
+            nodes_hashed=hashes.nodes_hashed,
+            nodes_skipped=hashes.nodes_skipped,
+            bytes_hashed=hashes.bytes_hashed,
+            regions=len(hashes.regions),
+        )
+
     def _add_state(
-        self, model: ApplicationModel, page: Page, depth: int
+        self,
+        model: ApplicationModel,
+        page: Page,
+        depth: int,
+        content_hash: Optional[str] = None,
     ) -> tuple[State, bool]:
-        content_hash = self._state_hash(page)
+        if content_hash is None:
+            content_hash = self._state_hash(page)
         if not self.config.deduplicate_states:
             # Ablation mode: force a unique identity per DOM observation.
             self._unique_counter += 1
@@ -261,21 +335,33 @@ class AjaxCrawler(Crawler):
         return model.add_state(content_hash, page.text, html=html, depth=depth)
 
     def _resolve_state(
-        self, model: ApplicationModel, page: Page, depth: int, max_states: int
+        self,
+        model: ApplicationModel,
+        page: Page,
+        depth: int,
+        max_states: int,
+        content_hash: Optional[str] = None,
     ) -> tuple[Optional[State], bool]:
         """Resolve the page's current DOM against the model, respecting
         the per-page state cap: a genuinely new state beyond the cap is
-        not admitted and ``(None, False)`` is returned."""
-        content_hash = self._state_hash(page)
+        not admitted and ``(None, False)`` is returned.
+
+        ``content_hash`` carries the digest a combined Merkle pass
+        already produced; when ``None`` (legacy mode, text identity)
+        the hash is computed here — and again in :meth:`_add_state`,
+        faithfully reproducing the seed's double full walk so baseline
+        benchmarks measure what the seed actually did.
+        """
+        resolved = content_hash if content_hash is not None else self._state_hash(page)
         if (
             self.config.deduplicate_states
-            and not model.contains_hash(content_hash)
+            and not model.contains_hash(resolved)
             and model.num_states >= max_states
         ):
             return None, False
         if not self.config.deduplicate_states and model.num_states >= max_states:
             return None, False
-        return self._add_state(model, page, depth)
+        return self._add_state(model, page, depth, content_hash=content_hash)
 
     def _enumerate_events(self, page: Page) -> list[EventBinding]:
         """Hook for subclasses: which events to fire in the current state.
@@ -391,3 +477,12 @@ class AjaxCrawler(Crawler):
         metrics.events_invoked = events_invoked
         metrics.ajax_calls = int(stats.ajax_calls - before["ajax_calls"])
         metrics.cached_hits = int(stats.cached_hits - before["cached_hits"])
+
+    def _fill_hash_metrics(self, metrics: PageMetrics, page: Page) -> None:
+        """Book the page's hashing work (both modes share HashStats)."""
+        hs = page.hash_stats
+        metrics.hash_nodes_hashed = hs.nodes_hashed
+        metrics.hash_nodes_skipped = hs.nodes_skipped
+        metrics.hash_bytes_hashed = hs.bytes_hashed
+        metrics.hash_full_passes = hs.full_passes
+        metrics.hash_incremental_passes = hs.incremental_passes

@@ -57,6 +57,18 @@ class CrawlerConfig:
     #: "text" hashes whitespace-normalized visible text, so states that
     #: differ only in markup (counters, styling attributes) collapse.
     state_identity: str = "dom"
+    #: When True (default) the crawler performs one combined Merkle hash
+    #: pass per fired event (state hash + region map, re-hashing only
+    #: dirty subtrees) and rollbacks clone warm-cached master trees.
+    #: False reproduces the seed full-rewalk/re-parse behaviour — the
+    #: baseline mode of ``benchmarks/bench_perf_hashing.py``.  Both
+    #: modes produce byte-identical hashes, models and traces.
+    incremental_hashing: bool = True
+    #: Emit ``hash_full``/``hash_incremental`` trace events per hash
+    #: pass.  Off by default so the golden traces (recorded before this
+    #: event kind existed) stay byte-identical; enable to observe the
+    #: hashing work distribution of a traced crawl.
+    trace_hashing: bool = False
     #: Attempts per network request (1 = no retries, the legacy default,
     #: which keeps the happy-path benchmarks byte-identical).
     retry_max_attempts: int = 1

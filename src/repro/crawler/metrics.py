@@ -60,6 +60,16 @@ class PageMetrics:
     #: (the event stays in the model's blind spot rather than killing
     #: the page crawl).
     events_quarantined: int = 0
+    #: DOM nodes whose canonical bytes were (re)built while hashing.
+    hash_nodes_hashed: int = 0
+    #: DOM nodes served from clean Merkle subtree caches.
+    hash_nodes_skipped: int = 0
+    #: Bytes actually fed to SHA-256 across all hash passes.
+    hash_bytes_hashed: int = 0
+    #: Hash passes that rebuilt the whole tree from scratch.
+    hash_full_passes: int = 0
+    #: Hash passes that reused cached subtree digests.
+    hash_incremental_passes: int = 0
 
     @property
     def processing_time_ms(self) -> float:
@@ -95,6 +105,11 @@ class CrawlReport:
             "crawl.events_skipped_from_history", metrics.events_skipped_from_history
         )
         registry.inc("crawl.events_quarantined", metrics.events_quarantined)
+        registry.inc("crawl.hash_nodes_hashed", metrics.hash_nodes_hashed)
+        registry.inc("crawl.hash_nodes_skipped", metrics.hash_nodes_skipped)
+        registry.inc("crawl.hash_bytes_hashed", metrics.hash_bytes_hashed)
+        registry.inc("crawl.hash_full_passes", metrics.hash_full_passes)
+        registry.inc("crawl.hash_incremental_passes", metrics.hash_incremental_passes)
         registry.inc("crawl.crawl_time_ms", metrics.crawl_time_ms)
         registry.inc("crawl.network_time_ms", metrics.network_time_ms)
         registry.inc("crawl.js_time_ms", metrics.js_time_ms)

@@ -15,7 +15,18 @@ from repro.dom.node import (
 )
 from repro.dom.parser import HtmlParser, parse_document, parse_fragment, unescape
 from repro.dom.serialize import escape_attribute, escape_text, inner_html, serialize
-from repro.dom.hashing import changed_regions, region_hashes, state_hash, text_hash
+from repro.dom.hashing import (
+    DomHashes,
+    HashStats,
+    changed_regions,
+    clear_digest_memo,
+    hash_tree,
+    reference_region_hashes,
+    reference_state_hash,
+    region_hashes,
+    state_hash,
+    text_hash,
+)
 
 __all__ = [
     "Document",
@@ -36,4 +47,10 @@ __all__ = [
     "text_hash",
     "region_hashes",
     "changed_regions",
+    "hash_tree",
+    "DomHashes",
+    "HashStats",
+    "reference_state_hash",
+    "reference_region_hashes",
+    "clear_digest_memo",
 ]

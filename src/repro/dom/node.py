@@ -28,6 +28,21 @@ class Node:
     def __init__(self) -> None:
         self.parent: Optional[Element] = None
 
+    def _invalidate_ancestors(self) -> None:
+        """Clear cached subtree digests on every ancestor (dirty bit).
+
+        Propagation stops at the first already-dirty ancestor: its own
+        ancestors were invalidated when it went dirty, so the walk is
+        O(clean prefix), not O(depth), under repeated mutation.
+        """
+        node = self.parent
+        while node is not None and node._canon_bytes is not None:
+            node._canon_bytes = None
+            node._canon_digest = None
+            node._region_items = None
+            node._node_count = None
+            node = node.parent
+
     def detach(self) -> None:
         """Remove this node from its parent, if any."""
         if self.parent is not None:
@@ -49,7 +64,25 @@ class Text(Node):
 
     def __init__(self, data: str) -> None:
         super().__init__()
-        self.data = data
+        self._data = data
+        #: Cached escaped hash-stream bytes of this run (None = dirty).
+        self._hash_bytes: Optional[bytes] = None
+
+    @property
+    def data(self) -> str:
+        return self._data
+
+    @data.setter
+    def data(self, value: str) -> None:
+        self._data = value
+        self._hash_bytes = None
+        self._invalidate_ancestors()
+
+    def clone(self) -> "Text":
+        """A detached copy, carrying over the clean hash cache."""
+        copy = Text(self._data)
+        copy._hash_bytes = self._hash_bytes
+        return copy
 
     def __repr__(self) -> str:
         preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
@@ -66,6 +99,43 @@ class Element(Node):
         self.children: list[Node] = []
         # Set on the root element by Document so owner_document resolves.
         self._document: Optional[Document] = None
+        # -- Merkle hash cache (maintained by repro.dom.hashing) ------------
+        #: Canonical hash-stream bytes of the whole subtree (None = dirty).
+        self._canon_bytes: Optional[bytes] = None
+        #: Hex SHA-256 of ``_canon_bytes`` (lazily computed, None = unknown).
+        self._canon_digest: Optional[str] = None
+        #: Cached ``(id, digest)`` region entries of the subtree, pre-order.
+        self._region_items: Optional[tuple[tuple[str, str], ...]] = None
+        #: Nodes in the subtree including self (for skip accounting).
+        self._node_count: Optional[int] = None
+        #: Cached open-tag bytes ``<tag a="v" ...>`` (attrs-dependent only).
+        self._open_bytes: Optional[bytes] = None
+
+    def _invalidate(self) -> None:
+        """Mark this subtree's cached digest dirty and propagate upward."""
+        self._canon_bytes = None
+        self._canon_digest = None
+        self._region_items = None
+        self._node_count = None
+        self._invalidate_ancestors()
+
+    def clone(self) -> "Element":
+        """A detached deep copy of the subtree, carrying over clean
+        hash caches (used to restore page snapshots without losing the
+        Merkle digests of unchanged regions)."""
+        copy = Element(self.tag)
+        copy.attrs = dict(self.attrs)
+        copy._canon_bytes = self._canon_bytes
+        copy._canon_digest = self._canon_digest
+        copy._region_items = self._region_items
+        copy._node_count = self._node_count
+        copy._open_bytes = self._open_bytes
+        append = copy.children.append
+        for child in self.children:
+            twin = child.clone()
+            twin.parent = copy
+            append(twin)
+        return copy
 
     # -- tree manipulation -------------------------------------------------
 
@@ -76,6 +146,7 @@ class Element(Node):
         child.detach()
         child.parent = self
         self.children.append(child)
+        self._invalidate()
         return child
 
     def insert_before(self, new: Node, reference: Optional[Node]) -> Node:
@@ -89,6 +160,7 @@ class Element(Node):
         new.detach()
         new.parent = self
         self.children.insert(index, new)
+        self._invalidate()
         return new
 
     def remove_child(self, child: Node) -> Node:
@@ -98,6 +170,7 @@ class Element(Node):
         except ValueError:
             raise DomError("node is not a child of this element") from None
         child.parent = None
+        self._invalidate()
         return child
 
     def replace_children(self, new_children: list[Node]) -> None:
@@ -116,6 +189,8 @@ class Element(Node):
     def set_attribute(self, name: str, value: str) -> None:
         """Set attribute ``name`` to ``value``."""
         self.attrs[name.lower()] = value
+        self._open_bytes = None
+        self._invalidate()
 
     def has_attribute(self, name: str) -> bool:
         """Whether attribute ``name`` is present."""
@@ -124,6 +199,8 @@ class Element(Node):
     def remove_attribute(self, name: str) -> None:
         """Drop attribute ``name`` if present."""
         self.attrs.pop(name.lower(), None)
+        self._open_bytes = None
+        self._invalidate()
 
     @property
     def id(self) -> Optional[str]:
@@ -214,6 +291,11 @@ class Document:
         """The ``<head>`` element, if present."""
         elements = self.root.get_elements_by_tag("head")
         return elements[0] if elements else None
+
+    def clone(self) -> "Document":
+        """A deep copy of the document that keeps the clean Merkle hash
+        caches of every node (snapshot restoration without re-hashing)."""
+        return Document(self.root.clone(), url=self.url)
 
     def create_element(self, tag: str, attrs: Optional[dict[str, str]] = None) -> Element:
         """Create a detached element owned by this document."""

@@ -17,6 +17,8 @@ golden-trace regression harness.
 from repro.obs.events import (
     EVENT_KINDS,
     EVENT_FIRED,
+    HASH_FULL,
+    HASH_INCREMENTAL,
     HOTNODE_CACHE_HIT,
     HOTNODE_CACHE_MISS,
     INDEX_FLUSH,
@@ -61,6 +63,8 @@ __all__ = [
     "STATE_DISCOVERED",
     "STATE_DUPLICATE",
     "STATE_CAPPED",
+    "HASH_FULL",
+    "HASH_INCREMENTAL",
     "INDEX_FLUSH",
     "QUERY_EVAL",
     "to_jsonl",

@@ -43,6 +43,10 @@ STATE_DISCOVERED = "state_discovered"
 STATE_DUPLICATE = "state_duplicate"
 #: A new state was rejected by the per-page state cap (§4.3).
 STATE_CAPPED = "state_capped"
+#: A DOM hash pass rebuilt the whole tree (no cached subtree reused).
+HASH_FULL = "hash_full"
+#: A DOM hash pass reused cached subtree digests (dirty subtrees only).
+HASH_INCREMENTAL = "hash_incremental"
 #: The inverted file sorted/flushed its posting lists.
 INDEX_FLUSH = "index_flush"
 #: The search engine evaluated one query.
@@ -60,6 +64,8 @@ EVENT_KINDS = (
     STATE_DISCOVERED,
     STATE_DUPLICATE,
     STATE_CAPPED,
+    HASH_FULL,
+    HASH_INCREMENTAL,
     INDEX_FLUSH,
     QUERY_EVAL,
 )

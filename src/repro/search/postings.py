@@ -5,14 +5,20 @@ the enhanced inverted-file entry of Table 5.1 — together with the
 occurrence positions used for scoring and proximity.
 
 Posting lists are kept sorted on ``(uri, state index)``, so conjunctions
-are computed as a linear merge, exactly as Figure 5.2 describes:
-"entries are compatible if the URLs are compatible, then if the States
-are identical."
+follow the alignment scheme Figure 5.2 describes: "entries are
+compatible if the URLs are compatible, then if the States are
+identical."  The merge advances lagging cursors by *galloping*
+(exponential probe, then binary search) instead of one entry at a time,
+and scans lists rarest-first so the most selective term drives the
+jumps — an order-of-magnitude win on skewed multi-term queries while
+producing exactly the groups the linear merge would.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -28,9 +34,32 @@ class Posting:
         """Occurrences of the keyword in the state (the Score of Table 5.1)."""
         return len(self.positions)
 
-    @property
+    @cached_property
     def sort_key(self) -> tuple[str, int]:
+        """Canonical (uri, state index) merge key.
+
+        Computed once per posting: ``cached_property`` stores the tuple
+        in the instance ``__dict__`` without tripping the frozen
+        ``__setattr__``, so the dataclass stays frozen and hashable but
+        a merge no longer re-parses ``int(state_id[1:])`` on every
+        comparison.
+        """
         return (self.uri, int(self.state_id[1:]))
+
+
+def _gallop_to(keys: list[tuple[str, int]], start: int, target: tuple[str, int]) -> int:
+    """First index ``>= start`` whose key is ``>= target``.
+
+    Exponential probe doubles the step until it overshoots, then a
+    binary search pins the boundary inside the last probed window —
+    O(log d) for a jump of distance d.  Caller guarantees
+    ``keys[start] < target``.
+    """
+    n = len(keys)
+    bound = 1
+    while start + bound < n and keys[start + bound] < target:
+        bound <<= 1
+    return bisect_left(keys, target, start + (bound >> 1), min(n, start + bound))
 
 
 def merge_conjunction(lists: list[list[Posting]]) -> list[list[Posting]]:
@@ -39,25 +68,47 @@ def merge_conjunction(lists: list[list[Posting]]) -> list[list[Posting]]:
     Returns, for every (uri, state) present in *all* input lists, the
     group of per-term postings ``[p_term1, p_term2, ...]`` — callers need
     the individual positions for proximity scoring.
+
+    Implementation: integer sort keys are precomputed per list once, the
+    lists are scanned rarest-first, and lagging cursors gallop to the
+    current maximum key.  On a full match one group is emitted and every
+    cursor advances by one, so duplicate (uri, state) keys pair up by
+    multiplicity exactly as the historical linear merge did.
     """
     if not lists:
         return []
     if any(not postings for postings in lists):
         return []
-    cursors = [0] * len(lists)
+    n = len(lists)
+    # Keys once per posting, in flat lists the gallop can bisect.
+    keys = [[posting.sort_key for posting in plist] for plist in lists]
+    lengths = [len(plist) for plist in lists]
+    # Rarest-first: the shortest (most selective) list leads the scan,
+    # so the common case is long lists galloping to rare keys.
+    order = sorted(range(n), key=lambda i: lengths[i])
+    cursors = [0] * n
     results: list[list[Posting]] = []
-    while all(cursors[i] < len(lists[i]) for i in range(len(lists))):
-        keys = [lists[i][cursors[i]].sort_key for i in range(len(lists))]
-        largest = max(keys)
-        if all(key == largest for key in keys):
-            results.append([lists[i][cursors[i]] for i in range(len(lists))])
-            for i in range(len(lists)):
+    while True:
+        target = keys[order[0]][cursors[order[0]]]
+        aligned = True
+        for i in order:
+            key = keys[i][cursors[i]]
+            if key != target:
+                aligned = False
+                if key > target:
+                    target = key
+        if aligned:
+            results.append([lists[i][cursors[i]] for i in range(n)])
+            for i in range(n):
                 cursors[i] += 1
+                if cursors[i] >= lengths[i]:
+                    return results
             continue
-        for i in range(len(lists)):
-            if keys[i] < largest:
-                cursors[i] += 1
-    return results
+        for i in order:
+            if keys[i][cursors[i]] < target:
+                cursors[i] = _gallop_to(keys[i], cursors[i], target)
+                if cursors[i] >= lengths[i]:
+                    return results
 
 
 def sort_postings(postings: list[Posting]) -> list[Posting]:

@@ -1,0 +1,111 @@
+"""Merkle hashing at the crawler level: mode equivalence and tracing.
+
+``incremental_hashing=True`` (the default) must be observationally
+identical to the seed full-rewalk baseline — same models, same hashes,
+same virtual-clock accounting — while doing far less hashing work.
+"""
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.obs import HASH_FULL, HASH_INCREMENTAL, Recorder
+from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
+
+
+def crawl_webmail(config):
+    site = SyntheticWebmail()
+    crawler = AjaxCrawler(site, config, clock=SimClock(), cost_model=CostModel())
+    return crawler.crawl_page(site.inbox_url)
+
+
+def model_fingerprint(model):
+    return (
+        sorted(state.content_hash for state in model.states()),
+        sorted(
+            (t.from_state, t.to_state, t.event.source, t.modified)
+            for t in model.transitions()
+        ),
+    )
+
+
+class TestModeEquivalence:
+    def test_webmail_models_and_timings_identical(self):
+        merkle = crawl_webmail(CrawlerConfig(incremental_hashing=True))
+        legacy = crawl_webmail(CrawlerConfig(incremental_hashing=False))
+        assert model_fingerprint(merkle.model) == model_fingerprint(legacy.model)
+        assert merkle.metrics.crawl_time_ms == legacy.metrics.crawl_time_ms
+        assert merkle.metrics.states == legacy.metrics.states
+        assert merkle.metrics.duplicates_detected == legacy.metrics.duplicates_detected
+
+    def test_merkle_hashes_fewer_bytes(self):
+        merkle = crawl_webmail(CrawlerConfig(incremental_hashing=True))
+        legacy = crawl_webmail(CrawlerConfig(incremental_hashing=False))
+        assert merkle.metrics.hash_bytes_hashed < legacy.metrics.hash_bytes_hashed
+        assert merkle.metrics.hash_incremental_passes > 0
+        assert legacy.metrics.hash_nodes_skipped == 0  # seed never skips
+
+    def test_youtube_models_identical(self):
+        site = SyntheticYouTube(SiteConfig(num_videos=3, seed=7))
+        urls = [site.video_url(i) for i in range(3)]
+
+        def run(incremental):
+            crawler = AjaxCrawler(
+                site,
+                CrawlerConfig(incremental_hashing=incremental),
+                clock=SimClock(),
+                cost_model=CostModel(),
+            )
+            result = crawler.crawl(urls)
+            return [model_fingerprint(m) for m in result.models], (
+                result.report.total_states,
+                result.report.total_time_ms,
+            )
+
+        assert run(True) == run(False)
+
+    def test_text_identity_mode_equivalent(self):
+        config = CrawlerConfig(state_identity="text")
+        merkle = crawl_webmail(
+            CrawlerConfig(state_identity="text", incremental_hashing=True)
+        )
+        legacy = crawl_webmail(
+            CrawlerConfig(state_identity="text", incremental_hashing=False)
+        )
+        assert config.incremental_hashing  # default stays on
+        assert model_fingerprint(merkle.model) == model_fingerprint(legacy.model)
+
+
+class TestHashTracing:
+    def trace(self, config):
+        site = SyntheticWebmail()
+        recorder = Recorder(clock=SimClock())
+        crawler = AjaxCrawler(
+            site, config, clock=recorder.clock, cost_model=CostModel(), recorder=recorder
+        )
+        crawler.crawl_page(site.inbox_url)
+        return recorder.events
+
+    def test_default_config_emits_no_hash_events(self):
+        events = self.trace(CrawlerConfig())
+        assert not [e for e in events if e.kind in (HASH_FULL, HASH_INCREMENTAL)]
+
+    def test_trace_hashing_emits_pass_events(self):
+        events = self.trace(CrawlerConfig(trace_hashing=True))
+        passes = [e for e in events if e.kind in (HASH_FULL, HASH_INCREMENTAL)]
+        assert passes
+        assert any(e.kind == HASH_INCREMENTAL for e in passes)
+        for event in passes:
+            assert set(event.fields) >= {
+                "url",
+                "nodes_hashed",
+                "nodes_skipped",
+                "bytes_hashed",
+                "regions",
+            }
+        # The non-hash part of the trace is unchanged by the flag.
+        baseline = [e.kind for e in self.trace(CrawlerConfig())]
+        filtered = [
+            e.kind
+            for e in events
+            if e.kind not in (HASH_FULL, HASH_INCREMENTAL)
+        ]
+        assert filtered == baseline

@@ -1,0 +1,129 @@
+"""Oracle tests for the galloping conjunction merge (§5.3.2).
+
+The oracle is the historical linear merge, re-implemented verbatim in
+this file: the galloping/rarest-first implementation must produce the
+exact same groups on every input, including duplicate (uri, state)
+keys and empty lists.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.postings import Posting, merge_conjunction, sort_postings
+
+
+# -- the historical linear merge, as the oracle --------------------------------
+
+
+def naive_merge(lists):
+    if not lists:
+        return []
+    if any(not postings for postings in lists):
+        return []
+    cursors = [0] * len(lists)
+    results = []
+    while all(cursors[i] < len(lists[i]) for i in range(len(lists))):
+        keys = [lists[i][cursors[i]].sort_key for i in range(len(lists))]
+        largest = max(keys)
+        if all(key == largest for key in keys):
+            results.append([lists[i][cursors[i]] for i in range(len(lists))])
+            for i in range(len(lists)):
+                cursors[i] += 1
+            continue
+        for i in range(len(lists)):
+            if keys[i] < largest:
+                cursors[i] += 1
+    return results
+
+
+# -- randomized inputs ---------------------------------------------------------
+
+postings = st.builds(
+    Posting,
+    uri=st.sampled_from(("http://a/1", "http://a/2", "http://b/1")),
+    state_id=st.integers(min_value=0, max_value=25).map(lambda n: f"s{n}"),
+    positions=st.lists(st.integers(min_value=0, max_value=99), max_size=3).map(tuple),
+)
+#: Sorted posting lists, duplicates included (sampling with replacement).
+posting_list = st.lists(postings, max_size=40).map(sort_postings)
+
+
+@given(st.lists(posting_list, max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_galloping_equals_naive_merge(lists):
+    assert merge_conjunction(lists) == naive_merge(lists)
+
+
+@given(st.lists(posting_list, min_size=2, max_size=3))
+@settings(max_examples=50, deadline=None)
+def test_result_invariants(lists):
+    groups = merge_conjunction(lists)
+    for group in groups:
+        assert len(group) == len(lists)
+        # Every group aligns on one (uri, state) key.
+        assert len({p.sort_key for p in group}) == 1
+    # Groups come out in ascending key order.
+    keys = [group[0].sort_key for group in groups]
+    assert keys == sorted(keys)
+
+
+# -- deterministic edge cases --------------------------------------------------
+
+
+def p(uri, state, *positions):
+    return Posting(uri=uri, state_id=state, positions=tuple(positions))
+
+
+class TestEdgeCases:
+    def test_no_lists(self):
+        assert merge_conjunction([]) == []
+
+    def test_any_empty_list_kills_the_conjunction(self):
+        assert merge_conjunction([[p("u", "s1", 0)], []]) == []
+        assert merge_conjunction([[], [p("u", "s1", 0)]]) == []
+
+    def test_single_list_passes_through_as_groups(self):
+        lst = [p("u", "s1", 0), p("u", "s2", 1)]
+        assert merge_conjunction([lst]) == [[lst[0]], [lst[1]]]
+
+    def test_duplicate_keys_pair_by_multiplicity(self):
+        """The i-th duplicate in one list pairs with the i-th in the
+        other; the surplus occurrence drops — same as the linear merge."""
+        a = [p("u", "s1", 0), p("u", "s1", 1), p("u", "s1", 2)]
+        b = [p("u", "s1", 7), p("u", "s1", 8)]
+        result = merge_conjunction([a, b])
+        assert result == [[a[0], b[0]], [a[1], b[1]]]
+        assert result == naive_merge([a, b])
+
+    def test_disjoint_lists_yield_nothing(self):
+        a = [p("u", "s1", 0), p("u", "s3", 0)]
+        b = [p("u", "s2", 0), p("u", "s4", 0)]
+        assert merge_conjunction([a, b]) == []
+
+    def test_skewed_lists_gallop_to_the_rare_key(self):
+        long = [p("u", f"s{i}", 0) for i in range(500)]
+        rare = [p("u", "s250", 1), p("u", "s499", 2)]
+        result = merge_conjunction([long, rare])
+        assert result == [[long[250], rare[0]], [long[499], rare[1]]]
+
+    def test_double_digit_state_ids_order_numerically(self):
+        lst = sort_postings([p("u", "s10", 0), p("u", "s9", 0), p("u", "s2", 0)])
+        assert [q.state_id for q in lst] == ["s2", "s9", "s10"]
+
+
+class TestSortKeyCaching:
+    def test_sort_key_is_computed_once(self):
+        posting = p("u", "s7", 1)
+        first = posting.sort_key
+        assert first == ("u", 7)
+        assert posting.sort_key is first  # cached, not re-parsed
+
+    def test_posting_stays_frozen_and_hashable(self):
+        posting = p("u", "s7", 1)
+        _ = posting.sort_key
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            posting.uri = "other"
+        assert hash(posting) == hash(p("u", "s7", 1))
+        assert posting == p("u", "s7", 1)
