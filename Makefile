@@ -6,9 +6,9 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-faults bench-smoke bench trace-verify trace-regen
+.PHONY: check test bench-faults bench-smoke bench trace-verify trace-regen profile-smoke
 
-check: test bench-faults bench-smoke trace-verify
+check: test bench-faults bench-smoke trace-verify profile-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,11 @@ trace-verify:
 # Rewrite the goldens after an intentional behaviour change.
 trace-regen:
 	$(PYTHON) -m repro.obs.goldens --regen
+
+# Span/profile/doctor smoke: healthy crawl must diagnose clean, a
+# fault-storm crawl and a skewed parallel run must be caught.
+profile-smoke:
+	$(PYTHON) -m repro.obs.smoke
 
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable

@@ -38,6 +38,7 @@ from repro.dom import (
 )
 from repro.errors import BrowserError, JavascriptError
 from repro.js import Interpreter
+from repro.obs import NULL_RECORDER
 
 #: Clock account for JavaScript execution.
 JS_ACCOUNT = "javascript"
@@ -70,6 +71,7 @@ class Page:
         cost_model: CostModel,
         javascript_enabled: bool = True,
         incremental_hashing: bool = True,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.url = url
         self.document = document
@@ -77,6 +79,7 @@ class Page:
         self.clock = clock
         self.cost_model = cost_model
         self.javascript_enabled = javascript_enabled
+        self.recorder = recorder
         #: When True (default) state/region hashing reuses the Merkle
         #: subtree caches and rollbacks clone a warm master tree; False
         #: reproduces the seed full-rewalk + re-parse behaviour (the
@@ -152,11 +155,13 @@ class Page:
         if not self.javascript_enabled:
             raise BrowserError("JavaScript is disabled for this page")
         before = self.interpreter.steps
-        try:
-            return self.interpreter.run(source)
-        finally:
-            delta = self.interpreter.steps - before
-            self.clock.advance(self.cost_model.js_execution_ms(delta), JS_ACCOUNT)
+        with self.recorder.span("js_exec") as span:
+            try:
+                return self.interpreter.run(source)
+            finally:
+                delta = self.interpreter.steps - before
+                self.clock.advance(self.cost_model.js_execution_ms(delta), JS_ACCOUNT)
+                span.annotate(steps=delta)
 
     # -- events ------------------------------------------------------------------------
 
@@ -212,7 +217,14 @@ class Page:
         Re-hashes only subtrees dirtied since the last pass (or the
         last :meth:`restore`, whose cloned master arrives fully cached).
         """
-        return hash_tree(self.document, stats=self.hash_stats)
+        with self.recorder.span("hash_pass") as span:
+            hashes = hash_tree(self.document, stats=self.hash_stats)
+            span.annotate(
+                nodes_hashed=hashes.nodes_hashed,
+                nodes_skipped=hashes.nodes_skipped,
+                incremental=hashes.incremental,
+            )
+        return hashes
 
     def snapshot(self) -> PageSnapshot:
         """Capture DOM and script globals for a later :meth:`restore`."""

@@ -32,8 +32,20 @@ from repro.obs import (
     MetricsRegistry,
     NULL_RECORDER,
     Recorder,
+    SpanTree,
+    critical_path_from_spans,
+    diagnose,
+    folded_stacks,
+    format_component_table,
+    format_critical_path,
+    format_findings,
+    format_folded,
+    format_span_tree,
     format_summary,
+    from_jsonl,
+    profile_components,
     summarize_jsonl,
+    to_speedscope,
 )
 from repro.parallel import (
     Precrawler,
@@ -103,33 +115,44 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         use_hot_node=not args.no_hotnode,
         retry_max_attempts=args.retries,
     )
+    want_spans = args.spans or args.profile
     sink = None
     recorder = NULL_RECORDER
     if args.trace:
         sink = JsonlTraceSink(args.trace)
-        recorder = Recorder(sink=sink)
+        recorder = Recorder(sink=sink, spans=want_spans)
+    elif want_spans:
+        # Profiling without a trace file keeps events in memory.
+        recorder = Recorder(spans=True)
     worker = SimpleAjaxCrawler(
         server, config, traditional=args.traditional, recorder=recorder
     )
     total_pages = total_states = total_failed = 0
     total_ms = 0.0
     failures = []
-    metrics = MetricsRegistry() if args.metrics else None
-    for directory in URLPartitioner.list_partitions(args.root):
-        result, summary = worker.crawl_partition_dir(directory)
-        if metrics is not None:
-            metrics.merge(summary.network.registry)
-            metrics.merge(result.report.registry)
-        total_pages += summary.num_pages
-        total_states += summary.total_states
-        total_failed += summary.failed_pages
-        total_ms += summary.crawl_time_ms
-        failures.extend(result.failures)
-        print(
-            f"partition {summary.partition}: {summary.num_pages} pages, "
-            f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
-            + (f", {summary.failed_pages} failed" if summary.failed_pages else "")
-        )
+    metrics = MetricsRegistry() if (args.metrics or args.profile) else None
+    # The sink must be flushed/closed even when a partition crawl
+    # raises mid-run — a truncated-but-flushed trace is still
+    # diagnosable, a stranded buffer is not.
+    try:
+        for directory in URLPartitioner.list_partitions(args.root):
+            result, summary = worker.crawl_partition_dir(directory)
+            if metrics is not None:
+                metrics.merge(summary.network.registry)
+                metrics.merge(result.report.registry)
+            total_pages += summary.num_pages
+            total_states += summary.total_states
+            total_failed += summary.failed_pages
+            total_ms += summary.crawl_time_ms
+            failures.extend(result.failures)
+            print(
+                f"partition {summary.partition}: {summary.num_pages} pages, "
+                f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
+                + (f", {summary.failed_pages} failed" if summary.failed_pages else "")
+            )
+    finally:
+        if sink is not None:
+            sink.close()
     mode = "traditional" if args.traditional else "AJAX"
     print(f"{mode} crawl done: {total_pages} pages, {total_states} states, "
           f"{total_ms / 1000:.1f}s virtual total")
@@ -144,11 +167,20 @@ def cmd_crawl(args: argparse.Namespace) -> int:
               f"(rate {args.fault_rate:.0%} on {args.fault_pattern!r}, "
               f"seed {args.fault_seed})")
     if sink is not None:
-        sink.close()
         print(f"trace written to {args.trace}")
-    if metrics is not None:
+    if args.metrics and metrics is not None:
         Path(args.metrics).write_text(metrics.to_json(), encoding="utf-8")
         print(f"metrics written to {args.metrics}")
+    if args.profile:
+        if sink is not None:
+            events = from_jsonl(Path(args.trace).read_text(encoding="utf-8"))
+        else:
+            events = recorder.events
+        tree = SpanTree.from_events(events, strict=False)
+        print()
+        print(format_component_table(profile_components(tree)))
+        print()
+        print(format_findings(diagnose(events=events, metrics=metrics)))
     return 0
 
 
@@ -197,6 +229,74 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
         return 1
     summary = summarize_jsonl(path.read_text(encoding="utf-8"))
     print(format_summary(summary))
+    return 0
+
+
+def _load_trace(trace_file: str) -> list:
+    path = Path(trace_file)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    return from_jsonl(path.read_text(encoding="utf-8"))
+
+
+def cmd_trace_spans(args: argparse.Namespace) -> int:
+    tree = SpanTree.from_events(_load_trace(args.trace_file), strict=False)
+    if not tree.roots:
+        print("no spans in trace (crawl with --spans or Recorder(spans=True))")
+        return 1
+    print(format_span_tree(tree, max_depth=args.max_depth))
+    return 0
+
+
+def cmd_trace_flame(args: argparse.Namespace) -> int:
+    tree = SpanTree.from_events(_load_trace(args.trace_file), strict=False)
+    if not tree.roots:
+        print("no spans in trace (crawl with --spans or Recorder(spans=True))")
+        return 1
+    if args.format == "speedscope":
+        output = json.dumps(to_speedscope(tree), sort_keys=True)
+    else:
+        output = format_folded(folded_stacks(tree))
+    if args.out:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+        print(f"{args.format} output written to {args.out}")
+    else:
+        print(output)
+    return 0
+
+
+def cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    tree = SpanTree.from_events(_load_trace(args.trace_file), strict=False)
+    report = critical_path_from_spans(tree, args.lines)
+    if not report.partitions:
+        print("no partition spans in trace (use a parallel crawl with spans on)")
+        return 1
+    print(format_critical_path(report))
+    return 0
+
+
+def cmd_trace_doctor(args: argparse.Namespace) -> int:
+    events = _load_trace(args.trace_file)
+    metrics = None
+    if args.metrics:
+        metrics = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
+    findings = diagnose(events=events, metrics=metrics)
+    print(format_findings(findings))
+    if findings and args.fail_on_findings:
+        return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    path = Path(args.metrics_file)
+    if not path.exists():
+        print(f"no such metrics file: {path}", file=sys.stderr)
+        return 1
+    snapshot = json.loads(path.read_text(encoding="utf-8"))
+    if args.format == "prom":
+        print(MetricsRegistry.from_snapshot(snapshot).to_prometheus(), end="")
+    else:
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
     return 0
 
 
@@ -265,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="FILE",
         help="dump the merged metrics registry to FILE as JSON",
     )
+    crawl.add_argument(
+        "--spans", action="store_true",
+        help="record span_start/span_end causal events in the trace",
+    )
+    crawl.add_argument(
+        "--profile", action="store_true",
+        help="record spans and print the component profile + doctor findings",
+    )
     crawl.set_defaults(fn=cmd_crawl)
 
     index = sub.add_parser("index", help="build an inverted file from crawled models")
@@ -291,6 +399,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_summarize.add_argument("trace_file", help="JSONL trace file")
     trace_summarize.set_defaults(fn=cmd_trace_summarize)
+
+    trace_spans = trace_sub.add_parser(
+        "spans", help="reconstruct and print the span tree of a trace"
+    )
+    trace_spans.add_argument("trace_file", help="JSONL trace file")
+    trace_spans.add_argument("--max-depth", type=int, default=None)
+    trace_spans.set_defaults(fn=cmd_trace_spans)
+
+    trace_flame = trace_sub.add_parser(
+        "flame", help="flamegraph export (folded stacks or speedscope JSON)"
+    )
+    trace_flame.add_argument("trace_file", help="JSONL trace file")
+    trace_flame.add_argument(
+        "--format", choices=("folded", "speedscope"), default="folded",
+        help="folded = flamegraph.pl input; speedscope = speedscope.app JSON",
+    )
+    trace_flame.add_argument("--out", default=None, metavar="FILE")
+    trace_flame.set_defaults(fn=cmd_trace_flame)
+
+    trace_cp = trace_sub.add_parser(
+        "critical-path", help="per-partition makespan / straggler analysis"
+    )
+    trace_cp.add_argument("trace_file", help="JSONL trace file with partition spans")
+    trace_cp.add_argument(
+        "--lines", type=int, default=4, metavar="N",
+        help="process lines to replay the scheduler with",
+    )
+    trace_cp.set_defaults(fn=cmd_trace_critical_path)
+
+    trace_doctor = trace_sub.add_parser(
+        "doctor", help="rule-based diagnosis of a crawl trace"
+    )
+    trace_doctor.add_argument("trace_file", help="JSONL trace file")
+    trace_doctor.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="metrics snapshot JSON to include as evidence",
+    )
+    trace_doctor.add_argument(
+        "--fail-on-findings", action="store_true",
+        help="exit 1 when the doctor reports any finding (CI gates)",
+    )
+    trace_doctor.set_defaults(fn=cmd_trace_doctor)
+
+    metrics = sub.add_parser("metrics", help="render a saved metrics snapshot")
+    metrics.add_argument("metrics_file", help="metrics JSON written by crawl --metrics")
+    metrics.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="prom = Prometheus text exposition",
+    )
+    metrics.set_defaults(fn=cmd_metrics)
 
     dot = sub.add_parser("dot", help="print one page's transition graph as DOT")
     dot.add_argument("--root", required=True)

@@ -67,6 +67,7 @@ class AjaxCrawler(Crawler):
             retry_policy=config.retry_policy(),
             recorder=recorder,
             incremental_hashing=config.incremental_hashing,
+            trace_js_frames=config.trace_js_frames,
         )
         self._unique_counter = 0
         #: Per-origin granularity hints (None = no hint published).
@@ -152,14 +153,33 @@ class AjaxCrawler(Crawler):
                     metrics.events_skipped_from_history += 1
                     continue
                 events_invoked += 1
-                failed_before = self.stats.failed_requests
-                changed = self._dispatch(page, binding)
-                if self.stats.failed_requests > failed_before:
-                    # The event's network call died even after retries:
-                    # quarantine it and roll back — a half-updated DOM
-                    # must not become a model state.
-                    quarantined.add(self._event_key(binding))
-                    metrics.events_quarantined += 1
+                with self.recorder.span(
+                    "fire_event",
+                    state_id=state_id,
+                    source=binding.locator.describe() if self.recorder.spans else "",
+                    trigger=binding.event_type,
+                ) as event_span:
+                    failed_before = self.stats.failed_requests
+                    changed = self._dispatch(page, binding)
+                    if self.stats.failed_requests > failed_before:
+                        # The event's network call died even after retries:
+                        # quarantine it and roll back — a half-updated DOM
+                        # must not become a model state.
+                        quarantined.add(self._event_key(binding))
+                        metrics.events_quarantined += 1
+                        if self.recorder.enabled:
+                            self.recorder.emit(
+                                EVENT_FIRED,
+                                url=url,
+                                state_id=state_id,
+                                source=binding.locator.describe(),
+                                trigger=binding.event_type,
+                                changed=bool(changed),
+                                quarantined=True,
+                            )
+                        event_span.annotate(quarantined=True)
+                        page.restore(base_snapshot)
+                        continue
                     if self.recorder.enabled:
                         self.recorder.emit(
                             EVENT_FIRED,
@@ -168,89 +188,79 @@ class AjaxCrawler(Crawler):
                             source=binding.locator.describe(),
                             trigger=binding.event_type,
                             changed=bool(changed),
-                            quarantined=True,
+                            quarantined=False,
                         )
-                    page.restore(base_snapshot)
-                    continue
-                if self.recorder.enabled:
-                    self.recorder.emit(
-                        EVENT_FIRED,
-                        url=url,
-                        state_id=state_id,
-                        source=binding.locator.describe(),
-                        trigger=binding.event_type,
-                        changed=bool(changed),
-                        quarantined=False,
+                    self._record_event_outcome(state, binding, changed)
+                    # Hash the DOM and compare against the model (§3.2): the
+                    # expensive part of maintaining the application model.
+                    self.clock.advance(
+                        self.browser.cost_model.state_diff_ms, account="model"
                     )
-                self._record_event_outcome(state, binding, changed)
-                # Hash the DOM and compare against the model (§3.2): the
-                # expensive part of maintaining the application model.
-                self.clock.advance(
-                    self.browser.cost_model.state_diff_ms, account="model"
-                )
-                if changed:
-                    if self.config.incremental_hashing:
-                        # The one combined hash call per event: state
-                        # hash and region map from a single pass that
-                        # re-hashes only the subtrees the event dirtied.
-                        event_pass = page.hash_state()
-                        self._trace_hash_pass(url, event_pass, state_id=state_id)
-                        content_hash = self._identity_hash(page, event_pass)
-                        after_regions = event_pass.regions
-                    else:
-                        content_hash = None
-                        after_regions = reference_region_hashes(
-                            page.document, stats=page.hash_stats
+                    if changed:
+                        if self.config.incremental_hashing:
+                            # The one combined hash call per event: state
+                            # hash and region map from a single pass that
+                            # re-hashes only the subtrees the event dirtied.
+                            event_pass = page.hash_state()
+                            self._trace_hash_pass(url, event_pass, state_id=state_id)
+                            content_hash = self._identity_hash(page, event_pass)
+                            after_regions = event_pass.regions
+                        else:
+                            content_hash = None
+                            after_regions = reference_region_hashes(
+                                page.document, stats=page.hash_stats
+                            )
+                        new_state, created = self._resolve_state(
+                            model,
+                            page,
+                            depth=state.depth + 1,
+                            max_states=max_states,
+                            content_hash=content_hash,
                         )
-                    new_state, created = self._resolve_state(
-                        model,
-                        page,
-                        depth=state.depth + 1,
-                        max_states=max_states,
-                        content_hash=content_hash,
-                    )
-                    if new_state is None:
-                        # State cap reached (section 4.3 "State explosion"):
-                        # the target is discarded, no transition recorded.
+                        if new_state is None:
+                            # State cap reached (section 4.3 "State explosion"):
+                            # the target is discarded, no transition recorded.
+                            metrics.states_capped += 1
+                            if self.recorder.enabled:
+                                self.recorder.emit(
+                                    STATE_CAPPED, url=url, max_states=max_states
+                                )
+                            event_span.annotate(capped=True)
+                            page.restore(base_snapshot)
+                            continue
                         if self.recorder.enabled:
                             self.recorder.emit(
-                                STATE_CAPPED, url=url, max_states=max_states
+                                STATE_DISCOVERED if created else STATE_DUPLICATE,
+                                url=url,
+                                state_id=new_state.state_id,
+                                depth=state.depth + 1,
+                                via_event=True,
                             )
-                        page.restore(base_snapshot)
-                        continue
-                    if self.recorder.enabled:
-                        self.recorder.emit(
-                            STATE_DISCOVERED if created else STATE_DUPLICATE,
-                            url=url,
-                            state_id=new_state.state_id,
-                            depth=state.depth + 1,
-                            via_event=True,
+                        if not created:
+                            metrics.duplicates_detected += 1
+                        model.add_transition(
+                            state,
+                            new_state,
+                            EventAnnotation(
+                                source=binding.locator.describe(),
+                                trigger=binding.event_type,
+                                handler=binding.handler,
+                                input_value=binding.input_value,
+                            ),
+                            # ``modif*`` of Algorithm 3.1.1: the region ids
+                            # whose subtree the event actually changed.
+                            modified=changed_regions(base_regions, after_regions),
                         )
-                    if not created:
-                        metrics.duplicates_detected += 1
-                    model.add_transition(
-                        state,
-                        new_state,
-                        EventAnnotation(
-                            source=binding.locator.describe(),
-                            trigger=binding.event_type,
-                            handler=binding.handler,
-                            input_value=binding.input_value,
-                        ),
-                        # ``modif*`` of Algorithm 3.1.1: the region ids
-                        # whose subtree the event actually changed.
-                        modified=changed_regions(base_regions, after_regions),
-                    )
-                    if (
-                        created
-                        and new_state.state_id not in visited
-                        and self._should_expand_state(new_state)
-                    ):
-                        visited.add(new_state.state_id)
-                        frontier.append(new_state.state_id)
-                        snapshots[new_state.state_id] = page.snapshot()
-                # Rollback: continue from the state under exploration.
-                page.restore(base_snapshot)
+                        if (
+                            created
+                            and new_state.state_id not in visited
+                            and self._should_expand_state(new_state)
+                        ):
+                            visited.add(new_state.state_id)
+                            frontier.append(new_state.state_id)
+                            snapshots[new_state.state_id] = page.snapshot()
+                    # Rollback: continue from the state under exploration.
+                    page.restore(base_snapshot)
 
         model.compute_depths()
         self._fill_metrics(metrics, model, events_invoked, watch, counters_before)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.crawler.metrics import CrawlReport, PageMetrics
 from repro.errors import ReproError
 from repro.model import ApplicationModel
+from repro.obs import NULL_RECORDER
 
 
 @dataclass
@@ -76,21 +77,33 @@ class Crawler:
         """
         result = CrawlResult()
         clock = getattr(self, "clock", None)
-        for url in urls:
-            started_ms = clock.now_ms if clock is not None else 0.0
-            try:
-                result.add(self.crawl_page(url))
-            except ReproError as error:
-                if fail_fast:
-                    raise
-                elapsed = clock.now_ms - started_ms if clock is not None else 0.0
-                result.failed_urls.append(url)
-                result.failures.append(
-                    PageFailure(
-                        url=url,
-                        error=str(error),
-                        attempts=getattr(error, "attempts", 1),
-                        elapsed_ms=elapsed,
-                    )
-                )
+        recorder = getattr(self, "recorder", NULL_RECORDER)
+        with recorder.span("crawl", pages=len(urls)) as crawl_span:
+            for url in urls:
+                started_ms = clock.now_ms if clock is not None else 0.0
+                with recorder.span("page", url=url) as page_span:
+                    try:
+                        page_result = self.crawl_page(url)
+                    except ReproError as error:
+                        if fail_fast:
+                            raise
+                        elapsed = (
+                            clock.now_ms - started_ms if clock is not None else 0.0
+                        )
+                        result.failed_urls.append(url)
+                        result.failures.append(
+                            PageFailure(
+                                url=url,
+                                error=str(error),
+                                attempts=getattr(error, "attempts", 1),
+                                elapsed_ms=elapsed,
+                            )
+                        )
+                        page_span.annotate(failed=True)
+                    else:
+                        result.add(page_result)
+                        page_span.annotate(states=page_result.metrics.states)
+            crawl_span.annotate(
+                pages_ok=result.report.num_pages, pages_failed=len(result.failed_urls)
+            )
         return result

@@ -69,6 +69,10 @@ class CrawlerConfig:
     #: event kind existed) stay byte-identical; enable to observe the
     #: hashing work distribution of a traced crawl.
     trace_hashing: bool = False
+    #: Emit one ``js_fn`` span per script function call (requires a
+    #: recorder with spans on).  Off by default — frame spans are the
+    #: heaviest instrumentation and only profiling runs want them.
+    trace_js_frames: bool = False
     #: Attempts per network request (1 = no retries, the legacy default,
     #: which keeps the happy-path benchmarks byte-identical).
     retry_max_attempts: int = 1

@@ -105,6 +105,27 @@ class HotNodeCache(HotCallPolicy):
     def size(self) -> int:
         return len(self._cache)
 
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Counters in one dict (what ``trace doctor`` / --profile print)."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+            "entries": self.size,
+            "hot_nodes": len(self.hot_nodes),
+        }
+
     def entries(self) -> dict[str, str]:
         """A copy of the cache contents (Table 4.4 rows)."""
         return dict(self._cache)

@@ -60,6 +60,9 @@ class PageMetrics:
     #: (the event stays in the model's blind spot rather than killing
     #: the page crawl).
     events_quarantined: int = 0
+    #: New states rejected by the per-page state cap (§4.3) — content
+    #: the model deliberately discarded (the doctor's truncation rule).
+    states_capped: int = 0
     #: DOM nodes whose canonical bytes were (re)built while hashing.
     hash_nodes_hashed: int = 0
     #: DOM nodes served from clean Merkle subtree caches.
@@ -105,6 +108,7 @@ class CrawlReport:
             "crawl.events_skipped_from_history", metrics.events_skipped_from_history
         )
         registry.inc("crawl.events_quarantined", metrics.events_quarantined)
+        registry.inc("crawl.states_capped", metrics.states_capped)
         registry.inc("crawl.hash_nodes_hashed", metrics.hash_nodes_hashed)
         registry.inc("crawl.hash_nodes_skipped", metrics.hash_nodes_skipped)
         registry.inc("crawl.hash_bytes_hashed", metrics.hash_bytes_hashed)
@@ -142,6 +146,10 @@ class CrawlReport:
     @property
     def total_events_quarantined(self) -> int:
         return int(self.registry.counter("crawl.events_quarantined"))
+
+    @property
+    def total_states_capped(self) -> int:
+        return int(self.registry.counter("crawl.states_capped"))
 
     @property
     def total_time_ms(self) -> float:

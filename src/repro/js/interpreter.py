@@ -26,6 +26,7 @@ from typing import Any, Optional
 
 from repro.errors import JsReferenceError, JsRuntimeError, JsTypeError
 from repro.js import ast
+from repro.obs import NULL_RECORDER
 from repro.js.debugger import CallStack, Debugger, StackFrame
 from repro.js.environment import Environment
 from repro.js.parser import parse_expression, parse_program
@@ -73,13 +74,17 @@ class _Continue(Exception):
 class Interpreter:
     """Evaluates parsed programs against a global environment."""
 
-    def __init__(self, max_steps: int = 2_000_000) -> None:
+    def __init__(self, max_steps: int = 2_000_000, recorder=NULL_RECORDER) -> None:
         self.global_env = Environment()
         self.call_stack = CallStack()
         self.max_steps = max_steps
         self.steps = 0
         self._debugger: Optional[Debugger] = None
         self._current_line = 0
+        #: Trace bus for ``js_fn`` function-frame spans.  Only consulted
+        #: when its span layer is on; the default NULL_RECORDER keeps
+        #: `_invoke` on the historical fast path.
+        self.recorder = recorder
         self._install_builtins()
 
     # -- public API -------------------------------------------------------------
@@ -518,19 +523,36 @@ class Interpreter:
         if isinstance(function, HostConstructor):
             return function.construct(self, args)
         name = getattr(function, "name", "<anonymous>") or "<anonymous>"
+        native = isinstance(function, NativeFunction)
         frame = StackFrame(
             function_name=name,
             arguments=list(args),
             line=line,
-            native=isinstance(function, NativeFunction),
+            native=native,
         )
         if self._debugger is not None:
             intercept = self._debugger.on_enter(frame)
             if intercept is not None:
                 return intercept.value
+        if not native and self.recorder.spans:
+            # Function-frame spans feed the hot-node attribution
+            # flamegraphs; native host calls are envelope noise and
+            # stay span-free.
+            with self.recorder.span("js_fn", name=name, line=line):
+                return self._run_frame(function, args, this, frame, native)
+        return self._run_frame(function, args, this, frame, native)
+
+    def _run_frame(
+        self,
+        function: Any,
+        args: list[Any],
+        this: Any,
+        frame: StackFrame,
+        native: bool,
+    ) -> Any:
         self.call_stack.push(frame)
         try:
-            if isinstance(function, NativeFunction):
+            if native:
                 result = function.fn(self, this, args)
             else:
                 result = self._call_js_function(function, args, this)

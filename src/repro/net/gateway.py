@@ -74,54 +74,60 @@ class NetworkGateway:
         recorder = self.recorder
         request_id = next(self._request_ids) if recorder.enabled else 0
         attempt = 1
-        while True:
-            response = self.server.handle(request)
-            latency = self._latency_of(kind, response)
-            if response.status < 500:
+        with recorder.span(
+            "fetch" if kind == "page" else "xhr", url=request.url
+        ) as request_span:
+            while True:
+                response = self.server.handle(request)
+                latency = self._latency_of(kind, response)
+                if response.status < 500:
+                    self.clock.advance(latency, account=NETWORK_ACCOUNT)
+                    self.stats.record(kind, request.url, response.body_bytes, latency)
+                    if recorder.enabled:
+                        recorder.emit(
+                            PAGE_FETCH if kind == "page" else XHR_CALL,
+                            request_id=request_id,
+                            url=request.url,
+                            status=int(response.status),
+                            bytes=response.body_bytes,
+                            latency_ms=latency,
+                            attempts=attempt,
+                            **({} if kind == "page" else {"from_cache": False}),
+                        )
+                    request_span.annotate(attempts=attempt, status=int(response.status))
+                    return response
+                # Failed attempt: charge and book it *before* deciding what
+                # happens next — failures cost time and must be visible.
                 self.clock.advance(latency, account=NETWORK_ACCOUNT)
-                self.stats.record(kind, request.url, response.body_bytes, latency)
+                self.stats.record_failure(kind, request.url, response.body_bytes, latency)
+                if policy is not None and policy.should_retry(attempt, response.status):
+                    with recorder.span("retry", url=request.url, attempt=attempt):
+                        backoff = policy.backoff_ms(attempt, request.url)
+                        self.clock.advance(backoff, account=NETWORK_ACCOUNT)
+                        self.stats.record_retry(backoff)
+                        if recorder.enabled:
+                            recorder.emit(
+                                RETRY,
+                                request_id=request_id,
+                                url=request.url,
+                                attempt=attempt,
+                                status=int(response.status),
+                                backoff_ms=backoff,
+                            )
+                    attempt += 1
+                    continue
+                self.stats.record_exhausted()
                 if recorder.enabled:
                     recorder.emit(
-                        PAGE_FETCH if kind == "page" else XHR_CALL,
+                        REQUEST_FAILED,
                         request_id=request_id,
                         url=request.url,
                         status=int(response.status),
-                        bytes=response.body_bytes,
-                        latency_ms=latency,
                         attempts=attempt,
-                        **({} if kind == "page" else {"from_cache": False}),
+                        request_kind=kind,
                     )
-                return response
-            # Failed attempt: charge and book it *before* deciding what
-            # happens next — failures cost time and must be visible.
-            self.clock.advance(latency, account=NETWORK_ACCOUNT)
-            self.stats.record_failure(kind, request.url, response.body_bytes, latency)
-            if policy is not None and policy.should_retry(attempt, response.status):
-                backoff = policy.backoff_ms(attempt, request.url)
-                self.clock.advance(backoff, account=NETWORK_ACCOUNT)
-                self.stats.record_retry(backoff)
-                if recorder.enabled:
-                    recorder.emit(
-                        RETRY,
-                        request_id=request_id,
-                        url=request.url,
-                        attempt=attempt,
-                        status=int(response.status),
-                        backoff_ms=backoff,
-                    )
-                attempt += 1
-                continue
-            self.stats.record_exhausted()
-            if recorder.enabled:
-                recorder.emit(
-                    REQUEST_FAILED,
-                    request_id=request_id,
-                    url=request.url,
-                    status=int(response.status),
-                    attempts=attempt,
-                    request_kind=kind,
-                )
-            raise RetriesExhausted(request.url, response.status, attempt)
+                request_span.annotate(attempts=attempt, status=int(response.status))
+                raise RetriesExhausted(request.url, response.status, attempt)
 
     def _latency_of(self, kind: str, response: Response) -> float:
         """The virtual latency of one attempt.

@@ -126,21 +126,22 @@ class XMLHttpRequest(HostObject):
         recorder = self.gateway.recorder
         cached = self.policy.lookup(signature) if self.policy is not None else None
         if cached is not None:
-            self.response_text = cached
-            self.status = 200.0
-            self.gateway.stats.record_cache_hit()
-            if recorder.enabled:
-                recorder.emit(
-                    HOTNODE_CACHE_HIT, url=self.url, signature=signature
-                )
-                recorder.emit(
-                    XHR_CALL,
-                    url=self.url,
-                    status=200,
-                    bytes=len(cached),
-                    from_cache=True,
-                )
-            self._notify(signature, from_cache=True)
+            with recorder.span("xhr", url=self.url, from_cache=True):
+                self.response_text = cached
+                self.status = 200.0
+                self.gateway.stats.record_cache_hit()
+                if recorder.enabled:
+                    recorder.emit(
+                        HOTNODE_CACHE_HIT, url=self.url, signature=signature
+                    )
+                    recorder.emit(
+                        XHR_CALL,
+                        url=self.url,
+                        status=200,
+                        bytes=len(cached),
+                        from_cache=True,
+                    )
+                self._notify(signature, from_cache=True)
         else:
             if self.policy is not None and recorder.enabled:
                 recorder.emit(

@@ -26,6 +26,8 @@ from repro.obs.events import (
     QUERY_EVAL,
     REQUEST_FAILED,
     RETRY,
+    SPAN_END,
+    SPAN_START,
     STATE_CAPPED,
     STATE_DISCOVERED,
     STATE_DUPLICATE,
@@ -34,14 +36,38 @@ from repro.obs.events import (
     from_jsonl,
     to_jsonl,
 )
+from repro.obs.doctor import (
+    DEFAULT_DOCTOR_CONFIG,
+    DoctorConfig,
+    Finding,
+    diagnose,
+    format_findings,
+)
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    ComponentRow,
+    CriticalPathReport,
+    PartitionCost,
+    critical_path,
+    critical_path_from_spans,
+    critical_path_report,
+    folded_stacks,
+    format_component_table,
+    format_critical_path,
+    format_folded,
+    hotnode_attribution,
+    profile_components,
+    to_speedscope,
+)
 from repro.obs.recorder import (
     JsonlTraceSink,
     MemorySink,
     NULL_RECORDER,
+    NULL_SPAN,
     NullRecorder,
     Recorder,
 )
+from repro.obs.spans import Span, SpanNestingError, SpanTree, format_span_tree
 from repro.obs.trace import (
     diff_traces,
     format_summary,
@@ -67,11 +93,14 @@ __all__ = [
     "HASH_INCREMENTAL",
     "INDEX_FLUSH",
     "QUERY_EVAL",
+    "SPAN_START",
+    "SPAN_END",
     "to_jsonl",
     "from_jsonl",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",
+    "NULL_SPAN",
     "MemorySink",
     "JsonlTraceSink",
     "MetricsRegistry",
@@ -82,4 +111,26 @@ __all__ = [
     "summarize",
     "summarize_jsonl",
     "format_summary",
+    "Span",
+    "SpanTree",
+    "SpanNestingError",
+    "format_span_tree",
+    "ComponentRow",
+    "profile_components",
+    "format_component_table",
+    "folded_stacks",
+    "format_folded",
+    "to_speedscope",
+    "hotnode_attribution",
+    "PartitionCost",
+    "CriticalPathReport",
+    "critical_path",
+    "critical_path_report",
+    "critical_path_from_spans",
+    "format_critical_path",
+    "DoctorConfig",
+    "DEFAULT_DOCTOR_CONFIG",
+    "Finding",
+    "diagnose",
+    "format_findings",
 ]

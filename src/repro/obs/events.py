@@ -51,6 +51,12 @@ HASH_INCREMENTAL = "hash_incremental"
 INDEX_FLUSH = "index_flush"
 #: The search engine evaluated one query.
 QUERY_EVAL = "query_eval"
+#: A causal span opened (``span`` names the span kind, ``span_id`` is
+#: unique per recorder, ``parent_id`` links to the enclosing span).
+SPAN_START = "span_start"
+#: The matching close of a span (same ``span_id``; ``error`` marks
+#: spans unwound by an exception).
+SPAN_END = "span_end"
 
 #: The closed vocabulary, in documentation order.
 EVENT_KINDS = (
@@ -68,6 +74,8 @@ EVENT_KINDS = (
     HASH_INCREMENTAL,
     INDEX_FLUSH,
     QUERY_EVAL,
+    SPAN_START,
+    SPAN_END,
 )
 
 

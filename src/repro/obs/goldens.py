@@ -69,10 +69,28 @@ def youtube_trace() -> list[TraceEvent]:
     return recorder.events
 
 
+def webmail_spans_trace() -> list[TraceEvent]:
+    """The SimMail crawl traced with the span layer on.
+
+    Same crawl as :func:`webmail_trace` (spans never charge virtual
+    time, so the point events are byte-identical modulo the injected
+    ``parent_id``) plus the ``span_start``/``span_end`` envelope — the
+    golden that pins the span schema and parent-id propagation.
+    """
+    site = SyntheticWebmail()
+    recorder = Recorder(clock=SimClock(), spans=True)
+    crawler = AjaxCrawler(
+        site, CrawlerConfig(), clock=recorder.clock, cost_model=CostModel(), recorder=recorder
+    )
+    crawler.crawl([site.inbox_url])
+    return recorder.events
+
+
 #: corpus name -> (golden filename, trace producer).
 CORPORA = {
     "webmail": ("webmail_trace.jsonl", webmail_trace),
     "youtube": ("youtube_trace.jsonl", youtube_trace),
+    "webmail_spans": ("webmail_spans_trace.jsonl", webmail_spans_trace),
 }
 
 

@@ -27,6 +27,7 @@ Merge semantics per instrument:
 from __future__ import annotations
 
 import json
+import re
 import threading
 from typing import Iterator, Mapping, Optional, Sequence
 
@@ -178,3 +179,134 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict (CLI files).
+
+        Histogram reconstruction is exact: the snapshot carries bounds,
+        bucket counts and the sum, which is the whole state.
+        """
+        registry = cls()
+        for rendered, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_rendered(rendered)
+            registry.inc(name, value, **labels)
+        for rendered, value in snapshot.get("gauges", {}).items():
+            name, labels = _parse_rendered(rendered)
+            registry.set_gauge(name, value, **labels)
+        for rendered, data in snapshot.get("histograms", {}).items():
+            name, labels = _parse_rendered(rendered)
+            bounds = tuple(
+                float("inf") if b == "inf" else float(b) for b in data["buckets"]
+            )
+            histogram = Histogram(bounds)
+            histogram.bucket_counts = list(data["counts"])
+            histogram.count = data["count"]
+            histogram.sum = data["sum"]
+            registry._histograms[_key(name, labels)] = histogram
+        return registry
+
+    # -- Prometheus text exposition ------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Render the registry in Prometheus text-exposition format.
+
+        Metric names are sanitized (``.`` and other illegal characters
+        become ``_``), label values escaped per the spec (backslash,
+        double quote, newline), histograms expand to cumulative
+        ``_bucket{le=...}`` series plus ``_sum``/``_count``.  Output is
+        deterministically sorted so it diffs cleanly across runs.
+        """
+        lines: list[str] = []
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+
+        def by_name(items):
+            groups: dict[str, list] = {}
+            for (name, labels), value in items:
+                groups.setdefault(name, []).append((labels, value))
+            return sorted(groups.items())
+
+        for name, series in by_name(counters):
+            prom = _prom_name(name)
+            lines.append(f"# HELP {prom} Counter {name!r} from the repro registry.")
+            lines.append(f"# TYPE {prom} counter")
+            for labels, value in series:
+                lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(value)}")
+        for name, series in by_name(gauges):
+            prom = _prom_name(name)
+            lines.append(f"# HELP {prom} Gauge {name!r} from the repro registry.")
+            lines.append(f"# TYPE {prom} gauge")
+            for labels, value in series:
+                lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(value)}")
+        for name, series in by_name(histograms):
+            prom = _prom_name(name)
+            lines.append(f"# HELP {prom} Histogram {name!r} from the repro registry.")
+            lines.append(f"# TYPE {prom} histogram")
+            for labels, histogram in series:
+                cumulative = 0
+                for bound, bucket in zip(histogram.bounds, histogram.bucket_counts):
+                    cumulative += bucket
+                    le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(labels, extra=('le', le))} "
+                        f"{cumulative}"
+                    )
+                if histogram.bounds and histogram.bounds[-1] != float("inf"):
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(labels, extra=('le', '+Inf'))} "
+                        f"{histogram.count}"
+                    )
+                lines.append(
+                    f"{prom}_sum{_prom_labels(labels)} {_prom_value(histogram.sum)}"
+                )
+                lines.append(f"{prom}_count{_prom_labels(labels)} {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_rendered(rendered: str) -> tuple[str, dict[str, str]]:
+    """Invert ``snapshot()``'s ``name{k=v,...}`` key rendering."""
+    if "{" not in rendered:
+        return rendered, {}
+    name, _, inner = rendered.partition("{")
+    inner = inner.rstrip("}")
+    labels: dict[str, str] = {}
+    for part in inner.split(","):
+        if part:
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return name, labels
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a registry name into a legal Prometheus metric name."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text-exposition spec."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_labels(
+    labels: tuple[tuple[str, str], ...], extra: Optional[tuple[str, str]] = None
+) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{_prom_escape(str(v))}"' for k, v in items)
+    return f"{{{inner}}}"
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value (integers without the trailing ``.0``)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,117 @@
+"""Profiling smoke test: ``python -m repro.obs.smoke``.
+
+``make profile-smoke`` (a ``make check`` prerequisite) runs three
+scenarios end-to-end through the span/profile/doctor stack and asserts
+the doctor's verdicts, so a regression in span emission, tree building
+or any diagnosis rule fails CI loudly:
+
+1. **healthy** — a clean SimMail crawl with spans on must produce a
+   valid span tree, non-empty folded stacks, and *zero* doctor
+   findings.
+2. **sick** — the same crawl against a fault-injected server (every
+   AJAX folder load 5xxes until retries exhaust) must be diagnosed as
+   a ``quarantine-storm``.
+3. **skewed** — a deliberately unbalanced two-partition parallel run
+   must be diagnosed as ``partition-skew`` and the critical-path
+   report must blame the heavy partition.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.net.faults import FaultInjector, FaultPlan, FaultRule
+from repro.obs.doctor import diagnose, format_findings
+from repro.obs.profile import critical_path_report, folded_stacks, profile_components
+from repro.obs.recorder import Recorder
+from repro.obs.spans import SpanTree
+from repro.parallel import MPAjaxCrawler
+from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
+
+#: Matches SimMail's AJAX folder-load endpoint.
+FOLDER_PATTERN = "/folder"
+
+
+def _crawl_webmail(server=None, config: CrawlerConfig | None = None) -> Recorder:
+    site = SyntheticWebmail()
+    recorder = Recorder(clock=SimClock(), spans=True)
+    crawler = AjaxCrawler(
+        server or site,
+        config or CrawlerConfig(),
+        clock=recorder.clock,
+        cost_model=CostModel(),
+        recorder=recorder,
+    )
+    crawler.crawl([site.inbox_url])
+    return recorder
+
+
+def smoke_healthy() -> None:
+    recorder = _crawl_webmail()
+    tree = SpanTree.from_events(recorder.events)
+    assert tree.roots, "clean crawl produced no spans"
+    assert not tree.problems, f"span nesting problems: {tree.problems}"
+    stacks = folded_stacks(tree)
+    assert stacks, "clean crawl produced no folded stacks"
+    rows = profile_components(tree)
+    kinds = {row.kind for row in rows}
+    assert {"crawl", "page", "fire_event"} <= kinds, f"missing span kinds: {kinds}"
+    findings = diagnose(events=recorder.events)
+    assert not findings, (
+        "doctor flagged a healthy crawl:\n" + format_findings(findings)
+    )
+    print(f"healthy: {len(tree)} spans, {len(stacks)} stacks, doctor clean")
+
+
+def smoke_sick() -> None:
+    site = SyntheticWebmail()
+    plan = FaultPlan([FaultRule(FOLDER_PATTERN, rate=1.0)], seed=1)
+    recorder = _crawl_webmail(
+        server=FaultInjector(site, plan),
+        config=CrawlerConfig(retry_max_attempts=2),
+    )
+    findings = diagnose(events=recorder.events)
+    rules = {finding.rule for finding in findings}
+    assert "quarantine-storm" in rules, (
+        "doctor missed the quarantine storm:\n" + format_findings(findings)
+    )
+    print(f"sick: doctor diagnosed {sorted(rules)}")
+
+
+def smoke_skewed() -> None:
+    site = SyntheticYouTube(SiteConfig(num_videos=6, seed=7))
+    crawler = MPAjaxCrawler(site, num_proc_lines=2)
+    # One heavy partition vs. one single-URL partition: a textbook straggler.
+    partitions = [
+        [site.video_url(i) for i in range(5)],
+        [site.video_url(5)],
+    ]
+    run = crawler.run_simulated(partitions)
+    findings = diagnose(parallel=run)
+    rules = {finding.rule for finding in findings}
+    assert "partition-skew" in rules, (
+        "doctor missed the straggler:\n" + format_findings(findings)
+    )
+    report = critical_path_report(run)
+    assert report.straggler_partition == 1, (
+        f"critical path blamed partition {report.straggler_partition}, expected 1"
+    )
+    assert report.makespan_ms == run.makespan_ms
+    print(
+        f"skewed: straggler partition {report.straggler_partition} "
+        f"({report.straggler_share:.0%} of makespan), doctor diagnosed {sorted(rules)}"
+    )
+
+
+def main() -> int:
+    smoke_healthy()
+    smoke_sick()
+    smoke_skewed()
+    print("profile smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

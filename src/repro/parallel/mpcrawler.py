@@ -68,6 +68,15 @@ class ParallelRunResult:
     line_finish_ms: list[float] = field(default_factory=list)
     #: Network counters merged over every partition worker.
     stats: NetworkStats = field(default_factory=NetworkStats)
+    #: Partition numbers in scheduling order (parallel to
+    #: ``partition_durations_ms``) — the critical-path analyzer's input.
+    partition_numbers: list[int] = field(default_factory=list)
+    #: Scheduled duration of each partition on its process line
+    #: (startup + network + stretched CPU for the simulated runner,
+    #: measured crawl time for the threaded one).
+    partition_durations_ms: list[float] = field(default_factory=list)
+    #: Process lines the run was scheduled on.
+    num_proc_lines: int = 0
 
     @property
     def registry(self):
@@ -138,6 +147,8 @@ class MPAjaxCrawler:
         merged = CrawlResult()
         merged_stats = NetworkStats()
         summaries: list[PartitionRunSummary] = []
+        partition_numbers: list[int] = []
+        partition_durations: list[float] = []
         line_times = [0.0] * self.num_proc_lines
         stretch = self.machine.cpu_stretch(min(self.num_proc_lines, max(len(partitions), 1)))
         for number, urls in enumerate(partitions, start=1):
@@ -157,6 +168,8 @@ class MPAjaxCrawler:
                 + summary.network_time_ms
                 + summary.cpu_time_ms * stretch
             )
+            partition_numbers.append(number)
+            partition_durations.append(duration)
             # Earliest-free line grabs the next partition (getPartitionID()).
             line = min(range(self.num_proc_lines), key=lambda i: line_times[i])
             line_times[line] += duration
@@ -166,6 +179,9 @@ class MPAjaxCrawler:
             makespan_ms=max(line_times) if partitions else 0.0,
             line_finish_ms=list(line_times),
             stats=merged_stats,
+            partition_numbers=partition_numbers,
+            partition_durations_ms=partition_durations,
+            num_proc_lines=self.num_proc_lines,
         )
 
     # -- real threads -----------------------------------------------------------------
@@ -190,6 +206,8 @@ class MPAjaxCrawler:
         merged = CrawlResult()
         merged_stats = NetworkStats()
         summaries: list[PartitionRunSummary] = []
+        partition_numbers: list[int] = []
+        partition_durations: list[float] = []
         with ThreadPoolExecutor(max_workers=self.num_proc_lines) as pool:
             outcomes = list(pool.map(crawl_one, enumerate(partitions, start=1)))
         line_times = [0.0] * self.num_proc_lines
@@ -197,6 +215,8 @@ class MPAjaxCrawler:
             merged.merge(result)
             merged_stats.merge(summary.network)
             summaries.append(summary)
+            partition_numbers.append(summary.partition)
+            partition_durations.append(summary.crawl_time_ms)
             line = min(range(self.num_proc_lines), key=lambda i: line_times[i])
             line_times[line] += summary.crawl_time_ms
         return ParallelRunResult(
@@ -205,4 +225,7 @@ class MPAjaxCrawler:
             makespan_ms=max(line_times) if partitions else 0.0,
             line_finish_ms=list(line_times),
             stats=merged_stats,
+            partition_numbers=partition_numbers,
+            partition_durations_ms=partition_durations,
+            num_proc_lines=self.num_proc_lines,
         )

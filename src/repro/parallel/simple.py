@@ -83,7 +83,11 @@ class SimpleAjaxCrawler:
                 cost_model=self.cost_model,
                 recorder=self.recorder,
             )
-        result = crawler.crawl(urls)
+        with self.recorder.span("partition", partition=partition, urls=len(urls)) as span:
+            result = crawler.crawl(urls)
+            span.annotate(
+                pages=result.report.num_pages, states=result.report.total_states
+            )
         network = result.report.total_network_time_ms
         total = result.report.total_time_ms
         summary = PartitionRunSummary(

@@ -79,18 +79,19 @@ class SearchEngine:
 
     def search(self, query: str, limit: Optional[int] = None) -> list[SearchResult]:
         """Boolean retrieval + eq. 5.3 ranking, best first."""
-        matches = evaluate(self.index, query)
-        terms = query_terms(query, stopwords=self.index.stopwords)
-        idfs = [self.index.idf(term) for term in terms]
-        results = [self._score(match, terms, idfs) for match in matches]
-        results.sort(key=lambda result: (-result.score, result.uri, result.state_id))
-        if self.recorder.enabled:
-            self.recorder.emit(
-                QUERY_EVAL,
-                query=query,
-                terms=len(terms),
-                matches=len(matches),
-            )
+        with self.recorder.span("query_eval", query=query):
+            matches = evaluate(self.index, query)
+            terms = query_terms(query, stopwords=self.index.stopwords)
+            idfs = [self.index.idf(term) for term in terms]
+            results = [self._score(match, terms, idfs) for match in matches]
+            results.sort(key=lambda result: (-result.score, result.uri, result.state_id))
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    QUERY_EVAL,
+                    query=query,
+                    terms=len(terms),
+                    matches=len(matches),
+                )
         return results[:limit] if limit is not None else results
 
     def result_count(self, query: str) -> int:

@@ -114,15 +114,16 @@ class InvertedFile:
         """Sort posting lists into canonical order (idempotent)."""
         if self._sorted:
             return
-        for term in self._postings:
-            self._postings[term] = sort_postings(self._postings[term])
-        self._sorted = True
-        if self.recorder.enabled:
-            self.recorder.emit(
-                INDEX_FLUSH,
-                num_states=self.num_states,
-                vocabulary=self.vocabulary_size,
-            )
+        with self.recorder.span("index_flush"):
+            for term in self._postings:
+                self._postings[term] = sort_postings(self._postings[term])
+            self._sorted = True
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    INDEX_FLUSH,
+                    num_states=self.num_states,
+                    vocabulary=self.vocabulary_size,
+                )
 
     # -- lookups ------------------------------------------------------------------
 

@@ -1,0 +1,127 @@
+"""Prometheus text exposition and snapshot round-tripping."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    _prom_escape,
+    _prom_name,
+)
+
+
+def filled_registry():
+    registry = MetricsRegistry()
+    registry.inc("net.page_fetches", 5)
+    registry.inc("net.bytes", 1234.0, kind="page")
+    registry.inc("net.bytes", 99.0, kind="ajax")
+    registry.set_gauge("crawl.open_states", 17)
+    registry.observe("net.latency_ms", 3.0)
+    registry.observe("net.latency_ms", 40.0)
+    registry.observe("net.latency_ms", 1e9)  # lands in the +Inf bucket
+    return registry
+
+
+class TestExposition:
+    def test_counter_rendering_with_help_and_type(self):
+        text = filled_registry().to_prometheus()
+        assert "# HELP net_page_fetches" in text
+        assert "# TYPE net_page_fetches counter" in text
+        assert "\nnet_page_fetches 5\n" in text
+
+    def test_labelled_series_sorted_under_one_header(self):
+        text = filled_registry().to_prometheus()
+        ajax = text.index('net_bytes{kind="ajax"} 99')
+        page = text.index('net_bytes{kind="page"} 1234')
+        assert text.count("# TYPE net_bytes counter") == 1
+        assert ajax < page  # label-sorted
+
+    def test_gauge_type(self):
+        text = filled_registry().to_prometheus()
+        assert "# TYPE crawl_open_states gauge" in text
+        assert "crawl_open_states 17" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = filled_registry().to_prometheus()
+        lines = [l for l in text.splitlines() if l.startswith("net_latency_ms_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert lines[-1].startswith('net_latency_ms_bucket{le="+Inf"}')
+        assert counts[-1] == 3
+        assert "net_latency_ms_sum" in text
+        assert "net_latency_ms_count 3" in text
+
+    def test_finite_last_bound_still_emits_inf_bucket(self):
+        registry = MetricsRegistry()
+        histogram = Histogram(bounds=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        histogram.observe(100.0)  # beyond every bound: only count/sum see it
+        registry._histograms[("h", ())] = histogram
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_name_sanitization(self):
+        assert _prom_name("net.bytes") == "net_bytes"
+        assert _prom_name("a-b c") == "a_b_c"
+        assert _prom_name("7days") == "_7days"
+        assert _prom_name("ok:subsystem_total") == "ok:subsystem_total"
+
+    def test_label_value_escaping(self):
+        assert _prom_escape('a"b') == 'a\\"b'
+        assert _prom_escape("a\\b") == "a\\\\b"
+        assert _prom_escape("a\nb") == "a\\nb"
+        registry = MetricsRegistry()
+        registry.inc("c", 1, url='http://x/"q"\n')
+        assert 'url="http://x/\\"q\\"\\n"' in registry.to_prometheus()
+
+    def test_integer_values_render_without_decimal(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2.0)
+        registry.inc("d", 2.5)
+        text = registry.to_prometheus()
+        assert "\nc 2\n" in text
+        assert "\nd 2.5" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_output_is_deterministic(self):
+        a = filled_registry().to_prometheus()
+        b = filled_registry().to_prometheus()
+        assert a == b
+
+
+class TestSnapshotRoundTrip:
+    def test_from_snapshot_inverts_snapshot(self):
+        registry = filled_registry()
+        snapshot = registry.snapshot()
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+
+    def test_round_trip_through_json(self):
+        registry = filled_registry()
+        rebuilt = MetricsRegistry.from_snapshot(json.loads(registry.to_json()))
+        assert rebuilt.snapshot() == registry.snapshot()
+        assert rebuilt.to_prometheus() == registry.to_prometheus()
+
+    def test_labels_survive_the_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("net.bytes", 7, kind="page", url="http://a/")
+        rebuilt = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert rebuilt.counter("net.bytes", kind="page", url="http://a/") == 7
+
+    def test_histogram_state_is_exact(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 3.0)
+        registry.observe("h", 7000.0)
+        rebuilt = MetricsRegistry.from_snapshot(registry.snapshot())
+        original = registry.histogram("h")
+        copy = rebuilt.histogram("h")
+        assert copy.bounds == original.bounds
+        assert copy.bucket_counts == original.bucket_counts
+        assert copy.sum == pytest.approx(original.sum)
+        assert copy.count == original.count

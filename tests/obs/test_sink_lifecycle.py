@@ -1,0 +1,96 @@
+"""Sink/recorder lifecycle: traces survive crashes, handles don't leak."""
+
+import pytest
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.net.faults import FaultInjector, FaultPlan, FaultRule
+from repro.obs.events import from_jsonl
+from repro.obs.recorder import JsonlTraceSink, Recorder
+from repro.obs.spans import SpanTree
+from repro.sites import SyntheticWebmail
+
+
+class TestJsonlTraceSink:
+    def test_context_manager_closes_on_exit(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            recorder = Recorder(clock=SimClock(), sink=sink)
+            recorder.emit("page_fetch", url="u")
+        assert sink._handle is None
+        assert len(from_jsonl(path.read_text(encoding="utf-8"))) == 1
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        recorder = Recorder(clock=SimClock(), sink=sink)
+        with pytest.raises(ValueError, match="already closed"):
+            recorder.emit("page_fetch", url="u")
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_flush_after_close_is_harmless(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.flush()
+
+    def test_exception_inside_with_still_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlTraceSink(path) as sink:
+                Recorder(clock=SimClock(), sink=sink).emit("retry", url="u")
+                raise RuntimeError("crawl died")
+        assert sink._handle is None
+        assert len(from_jsonl(path.read_text(encoding="utf-8"))) == 1
+
+
+class TestRecorderLifecycle:
+    def test_recorder_context_manager_closes_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Recorder(clock=SimClock(), sink=JsonlTraceSink(path)) as recorder:
+            recorder.emit("page_fetch", url="u")
+        with pytest.raises(ValueError):
+            recorder.emit("page_fetch", url="v")
+
+    def test_faulty_crawl_trace_is_flushed_and_diagnosable(self, tmp_path):
+        """A crawl that dies mid-run must leave a parseable trace behind."""
+        path = tmp_path / "t.jsonl"
+        site = SyntheticWebmail()
+        plan = FaultPlan([FaultRule("/folder", rate=1.0)], seed=1)
+        with pytest.raises(RuntimeError):
+            with Recorder(
+                clock=SimClock(), sink=JsonlTraceSink(path), spans=True
+            ) as recorder:
+                crawler = AjaxCrawler(
+                    FaultInjector(site, plan),
+                    CrawlerConfig(retry_max_attempts=2),
+                    clock=recorder.clock,
+                    cost_model=CostModel(),
+                    recorder=recorder,
+                )
+                crawler.crawl([site.inbox_url])
+                raise RuntimeError("operator pulled the plug")
+        events = from_jsonl(path.read_text(encoding="utf-8"))
+        assert any(event.kind == "retry" for event in events)
+        # Lenient tree building works on whatever was flushed.
+        tree = SpanTree.from_events(events, strict=False)
+        assert tree.roots
+
+    def test_truncated_trace_builds_lenient_tree(self, tmp_path):
+        """Simulate a crash between span_start and span_end: the file
+        holds an unclosed span, which lenient mode reports but keeps."""
+        path = tmp_path / "t.jsonl"
+        recorder = Recorder(clock=SimClock(), sink=JsonlTraceSink(path), spans=True)
+        span = recorder.span("crawl")
+        span.__enter__()
+        recorder.emit("page_fetch", url="u")
+        recorder.close()  # crash: span never ends
+        events = from_jsonl(path.read_text(encoding="utf-8"))
+        tree = SpanTree.from_events(events, strict=False)
+        assert len(tree.problems) == 1
+        (root,) = tree.roots
+        assert not root.closed
+        assert [e.kind for e in root.events] == ["page_fetch"]

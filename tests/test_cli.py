@@ -167,6 +167,142 @@ class TestFaultInjectionFlags:
         assert "11 pages" in out
 
 
+@pytest.fixture(scope="module")
+def profiled(tmp_path_factory):
+    """One spanned+profiled webmail crawl shared by the observability
+    tests (webmail stays under the state cap, so the doctor runs clean)."""
+    root = tmp_path_factory.mktemp("profiled")
+    pre = root / "pre"
+    crawl_root = root / "crawl"
+    trace = root / "trace.jsonl"
+    metrics = root / "metrics.json"
+    assert main(["precrawl", "--site", "webmail", "--out", str(pre),
+                 "--max-pages", "5"]) == 0
+    assert main([
+        "partition", "--precrawl", str(pre),
+        "--size", "1", "--out", str(crawl_root),
+    ]) == 0
+    assert main([
+        "crawl", "--site", "webmail", "--root", str(crawl_root),
+        "--trace", str(trace), "--metrics", str(metrics), "--profile",
+    ]) == 0
+    return {"trace": trace, "metrics": metrics, "root": root}
+
+
+class TestObservabilityCommands:
+    def test_profile_prints_table_and_doctor(self, profiled, capsys):
+        # The fixture already ran --profile; re-run to capture its output.
+        assert main([
+            "crawl", "--site", "webmail", "--root",
+            str(profiled["root"] / "crawl"), "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "component" in out
+        assert "fire_event" in out
+        assert "doctor:" in out
+
+    def test_trace_contains_span_events(self, profiled):
+        text = profiled["trace"].read_text(encoding="utf-8")
+        assert '"kind":"span_start"' in text
+        assert '"kind":"span_end"' in text
+
+    def test_trace_spans_renders_tree(self, profiled, capsys):
+        assert main(["trace", "spans", str(profiled["trace"])]) == 0
+        out = capsys.readouterr().out
+        assert "partition:1" in out
+        assert "incl=" in out
+
+    def test_trace_spans_max_depth(self, profiled, capsys):
+        assert main([
+            "trace", "spans", str(profiled["trace"]), "--max-depth", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partition:1" in out
+        assert "page:" not in out
+
+    def test_trace_spans_without_spans_fails(self, pipeline, tmp_path, capsys):
+        trace = tmp_path / "plain.jsonl"
+        crawl_root = tmp_path / "plain"
+        assert main([
+            "partition", "--precrawl", str(pipeline["pre"]),
+            "--size", "6", "--out", str(crawl_root),
+        ]) == 0
+        assert main([
+            "crawl", "--site", pipeline["site"], "--root", str(crawl_root),
+            "--trace", str(trace),
+        ]) == 0
+        assert main(["trace", "spans", str(trace)]) == 1
+        assert "no spans" in capsys.readouterr().out
+
+    def test_trace_flame_folded(self, profiled, capsys):
+        assert main(["trace", "flame", str(profiled["trace"])]) == 0
+        out = capsys.readouterr().out
+        line = out.splitlines()[0]
+        stack, weight = line.rsplit(" ", 1)
+        assert ";" in stack or stack.startswith("partition")
+        assert int(weight) > 0
+
+    def test_trace_flame_speedscope_to_file(self, profiled, tmp_path, capsys):
+        out_file = tmp_path / "profile.speedscope.json"
+        assert main([
+            "trace", "flame", str(profiled["trace"]),
+            "--format", "speedscope", "--out", str(out_file),
+        ]) == 0
+        doc = json.loads(out_file.read_text(encoding="utf-8"))
+        assert doc["$schema"].startswith("https://www.speedscope.app/")
+        assert doc["profiles"]
+
+    def test_trace_critical_path(self, profiled, capsys):
+        assert main([
+            "trace", "critical-path", str(profiled["trace"]), "--lines", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "straggler" in out
+
+    def test_trace_doctor_healthy(self, profiled, capsys):
+        assert main([
+            "trace", "doctor", str(profiled["trace"]),
+            "--metrics", str(profiled["metrics"]), "--fail-on-findings",
+        ]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_trace_doctor_fail_on_findings(self, pipeline, tmp_path, capsys):
+        trace = tmp_path / "sick.jsonl"
+        crawl_root = tmp_path / "sick"
+        assert main([
+            "partition", "--precrawl", str(pipeline["pre"]),
+            "--size", "12", "--out", str(crawl_root),
+        ]) == 0
+        assert main([
+            "crawl", "--site", pipeline["site"], "--root", str(crawl_root),
+            "--trace", str(trace), "--spans",
+            "--fault-rate", "1.0", "--fault-pattern", "/comments", "--retries", "2",
+        ]) == 0
+        assert main([
+            "trace", "doctor", str(trace), "--fail-on-findings",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "quarantine-storm" in out
+
+    def test_trace_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "spans", str(tmp_path / "nope.jsonl")])
+
+    def test_metrics_json_round_trip(self, profiled, capsys):
+        assert main(["metrics", str(profiled["metrics"])]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "counters" in payload
+
+    def test_metrics_prometheus(self, profiled, capsys):
+        assert main([
+            "metrics", str(profiled["metrics"]), "--format", "prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE crawl_pages counter" in out or "# TYPE" in out
+        assert "crawl_events_invoked" in out
+
+
 class TestArgumentErrors:
     def test_missing_subcommand(self):
         with pytest.raises(SystemExit):
