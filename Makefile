@@ -6,12 +6,23 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-faults bench-smoke bench trace-verify trace-regen profile-smoke
+.PHONY: check test test-fast coverage bench-faults bench-smoke bench \
+	trace-verify trace-regen profile-smoke testgen-smoke
 
-check: test bench-faults bench-smoke trace-verify profile-smoke
+check: test bench-faults bench-smoke trace-verify profile-smoke testgen-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The suite minus @pytest.mark.slow (corpus sweeps, experiment
+# reproductions) — the inner-loop command while editing.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Stdlib-only line-coverage gate over src/repro/testgen/ (the container
+# has no coverage.py); thresholds live in tools/coverage_gate.py.
+coverage:
+	$(PYTHON) tools/coverage_gate.py
 
 # Re-run the seeded golden crawls and diff their event streams against
 # tests/golden/*.jsonl (event-level diff on mismatch).
@@ -27,6 +38,12 @@ trace-regen:
 profile-smoke:
 	$(PYTHON) -m repro.obs.smoke
 
+# Conformance gate: crawl 50 generated sites against their ground
+# truth and crash-fuzz the JS/DOM substrate over the pinned corpus.
+testgen-smoke:
+	$(PYTHON) -m repro.cli testgen conformance --seeds 0:50 --quiet
+	$(PYTHON) -m repro.cli testgen fuzz --seeds 0:2000
+
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable
 
@@ -35,6 +52,11 @@ bench-faults:
 # threshold (writes benchmarks/results/BENCH_hashing.json).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_perf_hashing.py -q --benchmark-disable
+
+# Generator-harness throughput gate (writes
+# benchmarks/results/BENCH_testgen.json).
+bench-testgen:
+	$(PYTHON) -m pytest benchmarks/bench_perf_testgen.py -q --benchmark-disable
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

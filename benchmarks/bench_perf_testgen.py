@@ -1,0 +1,91 @@
+"""Generator-harness throughput baseline over the pinned smoke corpus.
+
+Runs the full conformance harness (generate -> crawl five variants ->
+compare against ground truth) over the same 50 seeds `make check` pins,
+plus the 2000-case fuzz corpus, and records throughput as
+``benchmarks/results/BENCH_testgen.json``.  Later perf PRs diff against
+this file to catch harness slowdowns (a slower gate gets skipped; a
+skipped gate catches nothing).
+
+The asserted floors are deliberately loose (about 10x headroom on the
+recording machine): they catch a complexity regression — a harness that
+suddenly re-crawls quadratically, a fuzzer stuck in the shrinker — not
+machine noise.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.testgen import fuzz_corpus, run_corpus
+
+RESULT_PATH = Path(__file__).resolve().parent / "results" / "BENCH_testgen.json"
+
+SMOKE_SEEDS = 50
+FUZZ_CASES = 2000
+
+#: Conformance throughput floor: ground-truth states verified per
+#: second across all five checks (recording machine does ~95/s).
+MIN_STATES_PER_SEC = 10.0
+
+#: Fuzz throughput floor (recording machine does ~1200 cases/s).
+MIN_FUZZ_CASES_PER_SEC = 100.0
+
+
+def corpus_study():
+    start = time.perf_counter()
+    reports = run_corpus(range(SMOKE_SEEDS))
+    conformance_s = time.perf_counter() - start
+    failures = [failure for report in reports for failure in report.failures]
+    states = sum(report.spec.total_states for report in reports)
+    transitions = sum(report.spec.total_transitions for report in reports)
+
+    start = time.perf_counter()
+    fuzz = fuzz_corpus(range(FUZZ_CASES))
+    fuzz_s = time.perf_counter() - start
+
+    report = {
+        "conformance": {
+            "seeds": SMOKE_SEEDS,
+            "ground_truth_states": states,
+            "ground_truth_transitions": transitions,
+            "failures": failures,
+            "wall_s": conformance_s,
+            "states_per_sec": states / conformance_s,
+            "seeds_per_sec": SMOKE_SEEDS / conformance_s,
+        },
+        "fuzz": {
+            "cases": fuzz.cases_run,
+            "crashes": [crash.describe() for crash in fuzz.crashes],
+            "rejections": dict(sorted(fuzz.rejections.items())),
+            "wall_s": fuzz_s,
+            "cases_per_sec": fuzz.cases_run / fuzz_s,
+        },
+        "threshold": {
+            "min_states_per_sec": MIN_STATES_PER_SEC,
+            "min_fuzz_cases_per_sec": MIN_FUZZ_CASES_PER_SEC,
+        },
+    }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_testgen_benchmark(benchmark):
+    report = benchmark.pedantic(corpus_study, rounds=1, iterations=1)
+    conformance = report["conformance"]
+    fuzz = report["fuzz"]
+    print(
+        f"[conformance] {conformance['seeds']} seeds, "
+        f"{conformance['ground_truth_states']} states in "
+        f"{conformance['wall_s']:.2f}s ({conformance['states_per_sec']:.0f} states/s)"
+    )
+    print(
+        f"[fuzz] {fuzz['cases']} cases in {fuzz['wall_s']:.2f}s "
+        f"({fuzz['cases_per_sec']:.0f} cases/s)"
+    )
+    # The corpus itself must be green before its timing means anything.
+    assert conformance["failures"] == []
+    assert fuzz["crashes"] == []
+    assert conformance["states_per_sec"] >= MIN_STATES_PER_SEC
+    assert fuzz["cases_per_sec"] >= MIN_FUZZ_CASES_PER_SEC

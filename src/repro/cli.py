@@ -300,6 +300,68 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(text: str) -> list[int]:
+    """Seed selectors: ``7``, ``3,5,8``, or a half-open range ``0:50``."""
+    if ":" in text:
+        start, _, stop = text.partition(":")
+        return list(range(int(start or 0), int(stop)))
+    return [int(part) for part in text.split(",")]
+
+
+def cmd_testgen_generate(args: argparse.Namespace) -> int:
+    from repro.testgen import spec_for_seed
+
+    spec = spec_for_seed(args.seed, num_pages=args.pages)
+    if args.out:
+        spec.save(args.out)
+        print(f"spec saved to {args.out}")
+    else:
+        print(json.dumps(spec.to_dict(), indent=2))
+    print(
+        f"seed {spec.seed}: {len(spec.pages)} page(s), "
+        f"{spec.total_states} states, {spec.total_transitions} transitions",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_testgen_conformance(args: argparse.Namespace) -> int:
+    from repro.testgen import CHECK_NAMES, run_corpus
+
+    checks = tuple(args.checks.split(",")) if args.checks else CHECK_NAMES
+    unknown = set(checks) - set(CHECK_NAMES)
+    if unknown:
+        print(f"unknown checks: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    reports = run_corpus(_parse_seeds(args.seeds), checks=checks, num_pages=args.pages)
+    failed = 0
+    for report in reports:
+        if not args.quiet or not report.passed:
+            print(report.summary())
+        for failure in report.failures:
+            failed += 1
+            print(f"  {failure}")
+    print(f"{len(reports)} seed(s), {failed} conformance failure(s)")
+    return 1 if failed else 0
+
+
+def cmd_testgen_fuzz(args: argparse.Namespace) -> int:
+    from repro.testgen import fuzz_corpus, shrink_case
+
+    summary = fuzz_corpus(_parse_seeds(args.seeds))
+    rejections = ", ".join(
+        f"{name}={count}" for name, count in sorted(summary.rejections.items())
+    )
+    print(f"{summary.cases_run} cases, {len(summary.crashes)} crash(es)")
+    print(f"clean rejections: {rejections or 'none'}")
+    for crash in summary.crashes:
+        print(f"CRASH {crash.describe()}")
+        if args.shrink:
+            minimal = shrink_case(crash)
+            print(f"  minimal repro ({len(minimal.text)} chars): {minimal.text!r}")
+    return 1 if summary.crashes else 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     total_models = total_states = total_transitions = 0
     for directory in URLPartitioner.list_partitions(args.root):
@@ -449,6 +511,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="prom = Prometheus text exposition",
     )
     metrics.set_defaults(fn=cmd_metrics)
+
+    testgen = sub.add_parser(
+        "testgen", help="synthetic sites with ground truth: generate, verify, fuzz"
+    )
+    testgen_sub = testgen.add_subparsers(dest="testgen_command", required=True)
+    tg_generate = testgen_sub.add_parser(
+        "generate", help="sample a site spec from a seed"
+    )
+    tg_generate.add_argument("--seed", type=int, required=True)
+    tg_generate.add_argument("--pages", type=int, default=None, help="page count (default: vary by seed)")
+    tg_generate.add_argument("--out", default=None, help="write the spec JSON here instead of stdout")
+    tg_generate.set_defaults(fn=cmd_testgen_generate)
+    tg_conformance = testgen_sub.add_parser(
+        "conformance", help="crawl generated sites, compare against ground truth"
+    )
+    tg_conformance.add_argument(
+        "--seeds", default="0:50", help="seed selector: N, N,M,..., or START:STOP"
+    )
+    tg_conformance.add_argument(
+        "--checks", default=None, help="comma-separated subset of checks to run"
+    )
+    tg_conformance.add_argument("--pages", type=int, default=None)
+    tg_conformance.add_argument(
+        "--quiet", action="store_true", help="only print failures and the final tally"
+    )
+    tg_conformance.set_defaults(fn=cmd_testgen_conformance)
+    tg_fuzz = testgen_sub.add_parser(
+        "fuzz", help="crash-fuzz the JS and DOM pipelines"
+    )
+    tg_fuzz.add_argument("--seeds", default="0:2000")
+    tg_fuzz.add_argument(
+        "--shrink", action="store_true", help="shrink each crash to a minimal repro"
+    )
+    tg_fuzz.set_defaults(fn=cmd_testgen_fuzz)
 
     dot = sub.add_parser("dot", help="print one page's transition graph as DOT")
     dot.add_argument("--root", required=True)

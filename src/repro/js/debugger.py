@@ -43,6 +43,9 @@ class CallStack:
     def __init__(self) -> None:
         self._frames: list[StackFrame] = []
 
+    def __len__(self) -> int:
+        return len(self._frames)
+
     def push(self, frame: StackFrame) -> None:
         self._frames.append(frame)
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Any, Optional
 
-from repro.errors import JsReferenceError, JsRuntimeError, JsTypeError
+from repro.errors import JsReferenceError, JsRuntimeError, JsSyntaxError, JsTypeError
 from repro.js import ast
 from repro.obs import NULL_RECORDER
 from repro.js.debugger import CallStack, Debugger, StackFrame
@@ -74,6 +74,13 @@ class _Continue(Exception):
 class Interpreter:
     """Evaluates parsed programs against a global environment."""
 
+    #: Script call-stack ceiling.  Each JS frame costs ~15 Python frames
+    #: (eval -> invoke -> run_frame -> exec chains), so this must stay
+    #: well under ``sys.getrecursionlimit()`` for runaway recursion to
+    #: surface as a catchable JsRuntimeError (the engines' "maximum call
+    #: stack size exceeded") rather than a Python RecursionError.
+    MAX_CALL_DEPTH = 32
+
     def __init__(self, max_steps: int = 2_000_000, recorder=NULL_RECORDER) -> None:
         self.global_env = Environment()
         self.call_stack = CallStack()
@@ -110,8 +117,15 @@ class Interpreter:
         """Execute an already-parsed program in the global scope."""
         self._hoist(program.body, self.global_env)
         result: Any = UNDEFINED
-        for statement in program.body:
-            result = self._exec(statement, self.global_env)
+        try:
+            for statement in program.body:
+                result = self._exec(statement, self.global_env)
+        except _Return:
+            raise JsSyntaxError("return statement outside function") from None
+        except _Break:
+            raise JsSyntaxError("break statement outside loop") from None
+        except _Continue:
+            raise JsSyntaxError("continue statement outside loop") from None
         return result
 
     def call_function(self, function: Any, args: list[Any], this: Any = UNDEFINED) -> Any:
@@ -550,6 +564,8 @@ class Interpreter:
         frame: StackFrame,
         native: bool,
     ) -> Any:
+        if len(self.call_stack) >= self.MAX_CALL_DEPTH:
+            raise JsRuntimeError("maximum call stack size exceeded")
         self.call_stack.push(frame)
         try:
             if native:

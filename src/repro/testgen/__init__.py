@@ -1,0 +1,63 @@
+"""Synthetic-site generation with ground-truth oracles (the standing
+correctness gate: generate → crawl → compare against the spec).
+
+* :mod:`repro.testgen.spec` — transition-graph specs and their oracles;
+* :mod:`repro.testgen.generator` — seeded sampling of site specs;
+* :mod:`repro.testgen.site` — specs rendered as live simulated servers;
+* :mod:`repro.testgen.conformance` — differential/metamorphic checks;
+* :mod:`repro.testgen.fuzz` — substrate crash-fuzzing with shrinking.
+"""
+
+from repro.testgen.conformance import (
+    CHECK_NAMES,
+    CheckResult,
+    ConformanceReport,
+    conformance_config,
+    crawl_generated,
+    recover_graph,
+    run_conformance,
+    run_corpus,
+    spec_for_seed,
+)
+from repro.testgen.fuzz import (
+    CrashReport,
+    FuzzCase,
+    FuzzSummary,
+    fuzz_corpus,
+    generate_case,
+    run_case,
+    shrink_case,
+    shrink_text,
+)
+from repro.testgen.generator import MIN_STATES, WORD_CORPUS, generate_page, generate_site
+from repro.testgen.site import GeneratedSite, build_site
+from repro.testgen.spec import PageSpec, SiteSpec, TransitionSpec
+
+__all__ = [
+    "CHECK_NAMES",
+    "CheckResult",
+    "ConformanceReport",
+    "CrashReport",
+    "FuzzCase",
+    "FuzzSummary",
+    "GeneratedSite",
+    "MIN_STATES",
+    "PageSpec",
+    "SiteSpec",
+    "TransitionSpec",
+    "WORD_CORPUS",
+    "build_site",
+    "conformance_config",
+    "crawl_generated",
+    "fuzz_corpus",
+    "generate_case",
+    "generate_page",
+    "generate_site",
+    "recover_graph",
+    "run_case",
+    "run_conformance",
+    "run_corpus",
+    "shrink_case",
+    "shrink_text",
+    "spec_for_seed",
+]

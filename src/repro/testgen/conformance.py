@@ -1,0 +1,513 @@
+"""Differential / metamorphic conformance checks over generated sites.
+
+Every check crawls a :class:`~repro.testgen.spec.SiteSpec`'s generated
+application and compares the outcome against the spec's closed-form
+ground truth, or against another crawler variant that must agree:
+
+* ``ground_truth`` — a basic (cache-less) crawl recovers *exactly* the
+  spec's reachable states, marker terms, transition edges and AJAX-call
+  multiset; nothing is quarantined, capped or failed.
+* ``hotnode_parity`` — hot-node vs basic: identical state hashes and
+  edges, exact cache accounting, and *strictly fewer* network calls.
+* ``incremental_parity`` — Merkle incremental hashing vs the full
+  rehash baseline: byte-identical state hashes, identical models.
+* ``parallel_parity`` — a single ``SimpleAjaxCrawler`` run vs an
+  ``MPAjaxCrawler`` partitioned run: the merged report and models must
+  equal the single-run ones.
+* ``search_consistency`` — an index built over the crawled models
+  answers every per-state marker query with exactly that state, and
+  corpus-word result counts match the spec's term placement.
+
+Checks never raise on conformance violations: each returns a
+:class:`CheckResult` whose failures pinpoint seed + page + quantity, so
+a 50-seed corpus run reports every divergence at once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from math import isclose
+from typing import Callable, Optional
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.model import ApplicationModel
+from repro.parallel import MPAjaxCrawler, SimpleAjaxCrawler
+from repro.search import SearchEngine
+from repro.testgen.generator import generate_site
+from repro.testgen.site import GeneratedSite
+from repro.testgen.spec import PageSpec, SiteSpec
+
+#: All checks, in the order ``run_conformance`` executes them.
+CHECK_NAMES = (
+    "ground_truth",
+    "hotnode_parity",
+    "incremental_parity",
+    "parallel_parity",
+    "search_consistency",
+)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one conformance check on one spec."""
+
+    name: str
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def expect(self, condition: bool, message: str) -> None:
+        if not condition:
+            self.failures.append(message)
+
+
+@dataclass
+class ConformanceReport:
+    """All check outcomes for one generated spec."""
+
+    spec: SiteSpec
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> list[str]:
+        return [
+            f"[seed {self.seed}] {result.name}: {failure}"
+            for result in self.results
+            for failure in result.failures
+        ]
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        checks = " ".join(
+            f"{result.name}={'ok' if result.passed else 'FAIL'}"
+            for result in self.results
+        )
+        return (
+            f"seed {self.seed}: {verdict} "
+            f"({self.spec.total_states} states, "
+            f"{self.spec.total_transitions} edges, "
+            f"{len(self.spec.pages)} page(s)) {checks}"
+        )
+
+
+def conformance_config(
+    spec: SiteSpec,
+    use_hot_node: bool = True,
+    incremental_hashing: bool = True,
+) -> CrawlerConfig:
+    """The crawl limits a conformance crawl must run under: the state
+    cap admits every genuine state, everything else stays at defaults."""
+    return CrawlerConfig(
+        max_additional_states=spec.max_additional_states_needed,
+        use_hot_node=use_hot_node,
+        incremental_hashing=incremental_hashing,
+    )
+
+
+def _cost_model() -> CostModel:
+    # Zero jitter: cross-variant time comparisons must be exact.
+    return CostModel(network_jitter=0.0)
+
+
+def crawl_generated(
+    spec: SiteSpec,
+    use_hot_node: bool = True,
+    incremental_hashing: bool = True,
+):
+    """Crawl every page of the generated site with a fresh crawler.
+
+    Returns ``(crawler, CrawlResult)`` — the crawler is handed back for
+    its network stats (the AJAX-call oracles read them).
+    """
+    crawler = AjaxCrawler(
+        GeneratedSite(spec),
+        conformance_config(
+            spec, use_hot_node=use_hot_node, incremental_hashing=incremental_hashing
+        ),
+        clock=SimClock(),
+        cost_model=_cost_model(),
+    )
+    return crawler, crawler.crawl(spec.all_urls())
+
+
+# -- recovered-graph mapping -----------------------------------------------------
+
+
+@dataclass
+class RecoveredGraph:
+    """One crawled model mapped back onto its spec page via markers."""
+
+    page: PageSpec
+    model: ApplicationModel
+    #: model state_id -> spec state index.
+    mapping: dict[str, int]
+    #: Problems encountered while mapping (ambiguous/unknown states).
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def edges(self) -> set[tuple[int, int]]:
+        return {
+            (self.mapping[t.from_state], self.mapping[t.to_state])
+            for t in self.model.transitions()
+            if t.from_state in self.mapping and t.to_state in self.mapping
+        }
+
+    @property
+    def states(self) -> set[int]:
+        return set(self.mapping.values())
+
+
+def recover_graph(page: PageSpec, model: ApplicationModel) -> RecoveredGraph:
+    """Identify each crawled state by the unique marker it contains."""
+    mapping: dict[str, int] = {}
+    problems: list[str] = []
+    for state in model.states():
+        hits = [
+            index
+            for index, marker in enumerate(page.markers)
+            if marker in state.text
+        ]
+        if len(hits) != 1:
+            problems.append(
+                f"state {state.state_id} matches {len(hits)} markers "
+                f"(text={state.text[:60]!r})"
+            )
+            continue
+        mapping[state.state_id] = hits[0]
+    return RecoveredGraph(page=page, model=model, mapping=mapping, problems=problems)
+
+
+def _model_fingerprints(models: list[ApplicationModel]) -> dict[str, tuple]:
+    """Order-insensitive identity of each crawled model, keyed by URL."""
+    fingerprints: dict[str, tuple] = {}
+    for model in models:
+        hashes = tuple(sorted(state.content_hash for state in model.states()))
+        edges = tuple(
+            sorted(
+                (
+                    model.get_state(t.from_state).content_hash,
+                    model.get_state(t.to_state).content_hash,
+                    t.event.source,
+                    t.event.trigger,
+                )
+                for t in model.transitions()
+            )
+        )
+        fingerprints[model.url] = (hashes, edges)
+    return fingerprints
+
+
+def _fragment_fetches(crawler: AjaxCrawler, spec: SiteSpec) -> Counter:
+    """Multiset of fragment requests that actually hit the network."""
+    fetches: Counter = Counter()
+    for url, count in crawler.stats.requests_by_url.items():
+        path = url.replace(spec.base_url, "", 1)
+        if path.startswith("/fragment?"):
+            fetches[path] += count
+    return fetches
+
+
+# -- individual checks ------------------------------------------------------------
+
+
+def check_ground_truth(spec: SiteSpec) -> CheckResult:
+    """A basic cache-less crawl must recover the spec exactly."""
+    result = CheckResult("ground_truth")
+    crawler, crawl = crawl_generated(spec, use_hot_node=False)
+    result.expect(not crawl.failed_urls, f"failed urls: {crawl.failed_urls}")
+    result.expect(
+        crawl.report.total_events_quarantined == 0,
+        f"{crawl.report.total_events_quarantined} events quarantined",
+    )
+    result.expect(
+        crawl.report.total_states_capped == 0,
+        f"{crawl.report.total_states_capped} states hit the cap",
+    )
+    by_url = {model.url: model for model in crawl.models}
+    for page in spec.pages:
+        url = spec.page_url(page.page_id)
+        model = by_url.get(url)
+        if model is None:
+            result.expect(False, f"page {page.page_id}: no model crawled")
+            continue
+        recovered = recover_graph(page, model)
+        for problem in recovered.problems:
+            result.expect(False, f"page {page.page_id}: {problem}")
+        result.expect(
+            model.num_states == page.num_states,
+            f"page {page.page_id}: {model.num_states} states crawled, "
+            f"{page.num_states} in spec",
+        )
+        result.expect(
+            recovered.states == set(range(page.num_states)),
+            f"page {page.page_id}: recovered states {sorted(recovered.states)} "
+            f"!= spec 0..{page.num_states - 1}",
+        )
+        result.expect(
+            recovered.edges == set(page.edges),
+            f"page {page.page_id}: recovered edges {sorted(recovered.edges)} "
+            f"!= spec {sorted(page.edges)}",
+        )
+        result.expect(
+            model.num_transitions == len(page.transitions),
+            f"page {page.page_id}: {model.num_transitions} transitions recorded, "
+            f"{len(page.transitions)} in spec",
+        )
+    expected_fetches = Counter()
+    for page in spec.pages:
+        expected_fetches.update(page.expected_fetches())
+    actual_fetches = _fragment_fetches(crawler, spec)
+    result.expect(
+        actual_fetches == expected_fetches,
+        f"AJAX multiset mismatch: extra={actual_fetches - expected_fetches}, "
+        f"missing={expected_fetches - actual_fetches}",
+    )
+    return result
+
+
+def check_hotnode_parity(spec: SiteSpec) -> CheckResult:
+    """Hot-node crawl: same states/edges, strictly fewer network calls."""
+    result = CheckResult("hotnode_parity")
+    basic_crawler, basic = crawl_generated(spec, use_hot_node=False)
+    hot_crawler, hot = crawl_generated(spec, use_hot_node=True)
+    result.expect(
+        _model_fingerprints(basic.models) == _model_fingerprints(hot.models),
+        "hot-node crawl produced different models than the basic crawl",
+    )
+    expected_basic = sum(p.expected_network_calls(False) for p in spec.pages)
+    expected_hot = sum(p.expected_network_calls(True) for p in spec.pages)
+    expected_hits = sum(p.expected_cached_hits() for p in spec.pages)
+    result.expect(
+        basic.report.total_ajax_calls == expected_basic,
+        f"basic crawl made {basic.report.total_ajax_calls} AJAX calls, "
+        f"spec predicts {expected_basic}",
+    )
+    result.expect(
+        hot.report.total_ajax_calls == expected_hot,
+        f"hot-node crawl made {hot.report.total_ajax_calls} AJAX calls, "
+        f"spec predicts {expected_hot}",
+    )
+    result.expect(
+        hot.report.total_cached_hits == expected_hits,
+        f"hot-node crawl hit cache {hot.report.total_cached_hits} times, "
+        f"spec predicts {expected_hits}",
+    )
+    result.expect(
+        hot.report.total_ajax_calls < basic.report.total_ajax_calls,
+        "hot-node crawl did not make strictly fewer network calls "
+        f"({hot.report.total_ajax_calls} vs {basic.report.total_ajax_calls})",
+    )
+    # Hot and basic mode agree on the distinct fragments fetched.
+    hot_fetches = _fragment_fetches(hot_crawler, spec)
+    basic_fetches = _fragment_fetches(basic_crawler, spec)
+    result.expect(
+        set(hot_fetches) == set(basic_fetches),
+        "hot-node crawl fetched a different set of fragments",
+    )
+    result.expect(
+        all(count == 1 for count in hot_fetches.values()),
+        f"hot-node crawl re-fetched cached fragments: {hot_fetches}",
+    )
+    return result
+
+
+def check_incremental_parity(spec: SiteSpec) -> CheckResult:
+    """Merkle incremental hashing == full-rehash baseline, bit for bit."""
+    result = CheckResult("incremental_parity")
+    _, incremental = crawl_generated(spec, incremental_hashing=True)
+    _, full = crawl_generated(spec, incremental_hashing=False)
+    inc_prints = _model_fingerprints(incremental.models)
+    full_prints = _model_fingerprints(full.models)
+    result.expect(
+        set(inc_prints) == set(full_prints),
+        "hashing modes crawled different URL sets",
+    )
+    for url in inc_prints:
+        if url not in full_prints:
+            continue
+        result.expect(
+            inc_prints[url][0] == full_prints[url][0],
+            f"{url}: state hashes diverged between hashing modes",
+        )
+        result.expect(
+            inc_prints[url][1] == full_prints[url][1],
+            f"{url}: transitions diverged between hashing modes",
+        )
+    result.expect(
+        incremental.report.total_states == full.report.total_states,
+        f"state totals diverged: {incremental.report.total_states} vs "
+        f"{full.report.total_states}",
+    )
+    result.expect(
+        incremental.report.total_events == full.report.total_events,
+        f"event totals diverged: {incremental.report.total_events} vs "
+        f"{full.report.total_events}",
+    )
+    return result
+
+
+def _partition(urls: list[str], count: int) -> list[list[str]]:
+    """Contiguous partitions, as the URLPartitioner would produce."""
+    count = max(1, min(count, len(urls)))
+    size = -(-len(urls) // count)
+    return [urls[i : i + size] for i in range(0, len(urls), size)]
+
+
+def check_parallel_parity(
+    spec: SiteSpec, num_partitions: int = 2, num_proc_lines: int = 2
+) -> CheckResult:
+    """Merged MPAjaxCrawler report == single SimpleAjaxCrawler report."""
+    result = CheckResult("parallel_parity")
+    config = conformance_config(spec)
+    urls = spec.all_urls()
+    single_result, single_summary = SimpleAjaxCrawler(
+        GeneratedSite(spec), config, cost_model=_cost_model()
+    ).crawl_urls(urls, partition=0)
+    parallel = MPAjaxCrawler(
+        GeneratedSite(spec),
+        num_proc_lines=num_proc_lines,
+        config=config,
+        cost_model=_cost_model(),
+    ).run_simulated(_partition(urls, num_partitions))
+    merged = parallel.result.report
+    single = single_result.report
+    for quantity in (
+        "num_pages",
+        "total_states",
+        "total_events",
+        "total_ajax_calls",
+        "total_cached_hits",
+    ):
+        result.expect(
+            getattr(merged, quantity) == getattr(single, quantity),
+            f"{quantity}: merged {getattr(merged, quantity)} != "
+            f"single {getattr(single, quantity)}",
+        )
+    result.expect(
+        parallel.total_failed_pages == 0 and not single_result.failed_urls,
+        "a fault-free generated crawl reported page failures",
+    )
+    result.expect(
+        _model_fingerprints(parallel.result.models)
+        == _model_fingerprints(single_result.models),
+        "merged parallel models differ from the single-run models",
+    )
+    result.expect(
+        isclose(
+            merged.total_time_ms, single.total_time_ms, rel_tol=1e-9, abs_tol=1e-6
+        ),
+        f"virtual crawl time diverged: merged {merged.total_time_ms} vs "
+        f"single {single.total_time_ms}",
+    )
+    result.expect(
+        parallel.stats.ajax_calls == single_summary.network.ajax_calls,
+        f"merged network stats diverged: {parallel.stats.ajax_calls} AJAX "
+        f"calls vs {single_summary.network.ajax_calls}",
+    )
+    return result
+
+
+def check_search_consistency(spec: SiteSpec) -> CheckResult:
+    """Indexed search results must match the spec's per-state terms."""
+    result = CheckResult("search_consistency")
+    _, crawl = crawl_generated(spec)
+    engine = SearchEngine.build(crawl.models)
+    by_url = {model.url: model for model in crawl.models}
+    for page in spec.pages:
+        url = spec.page_url(page.page_id)
+        model = by_url.get(url)
+        if model is None:
+            result.expect(False, f"page {page.page_id}: no model to index")
+            continue
+        for state_index, marker in enumerate(page.markers):
+            hits = engine.search(marker)
+            if len(hits) != 1:
+                result.expect(
+                    False,
+                    f"marker {marker!r} returned {len(hits)} results, expected 1",
+                )
+                continue
+            hit = hits[0]
+            result.expect(
+                hit.uri == url,
+                f"marker {marker!r} resolved to {hit.uri}, expected {url}",
+            )
+            state_text = model.get_state(hit.state_id).text
+            result.expect(
+                marker in state_text,
+                f"marker {marker!r} hit state {hit.state_id} whose text "
+                "does not contain it",
+            )
+    # Non-unique corpus words: result counts equal spec term placement.
+    word_truth: Counter = Counter()
+    for page in spec.pages:
+        for state_words in page.words:
+            for word in set(state_words):
+                word_truth[word] += 1
+    for word, expected_count in sorted(word_truth.items()):
+        actual = engine.result_count(word)
+        result.expect(
+            actual == expected_count,
+            f"word {word!r}: {actual} results, spec places it in "
+            f"{expected_count} states",
+        )
+    return result
+
+
+# -- harness entry points ----------------------------------------------------------
+
+
+def run_conformance(
+    spec: SiteSpec,
+    checks: tuple[str, ...] = CHECK_NAMES,
+) -> ConformanceReport:
+    """Run the selected conformance checks over one generated spec."""
+    registry: dict[str, Callable[[SiteSpec], CheckResult]] = {
+        "ground_truth": check_ground_truth,
+        "hotnode_parity": check_hotnode_parity,
+        "incremental_parity": check_incremental_parity,
+        "parallel_parity": check_parallel_parity,
+        "search_consistency": check_search_consistency,
+    }
+    report = ConformanceReport(spec=spec)
+    for name in checks:
+        try:
+            check = registry[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown conformance check {name!r} (have {sorted(registry)})"
+            ) from None
+        report.results.append(check(spec))
+    return report
+
+
+def spec_for_seed(seed: int, num_pages: Optional[int] = None) -> SiteSpec:
+    """The corpus spec of ``seed``: page count varies 1..3 with the seed
+    so single-page and multi-page (parallel-relevant) shapes both appear."""
+    if num_pages is None:
+        num_pages = 1 + seed % 3
+    return generate_site(seed, num_pages=num_pages)
+
+
+def run_corpus(
+    seeds,
+    checks: tuple[str, ...] = CHECK_NAMES,
+    num_pages: Optional[int] = None,
+) -> list[ConformanceReport]:
+    """Run the harness over many seeds (the smoke-corpus entry point)."""
+    return [
+        run_conformance(spec_for_seed(seed, num_pages=num_pages), checks=checks)
+        for seed in seeds
+    ]

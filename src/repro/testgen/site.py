@@ -1,0 +1,108 @@
+"""Render a :class:`~repro.testgen.spec.SiteSpec` into a live server.
+
+The generated application follows the SimTube pattern: each page inlines
+its initial-state fragment (what a JavaScript-less browser sees) and
+swaps the ``#content`` div over a single XHR-reaching script function
+``fetchFragment`` — the page's one hot node.  Every byte served is a
+pure function of the spec, so the server is trivially stateless and the
+crawler's snapshot assumption (§4.3) holds by construction.
+
+Two structural choices make the ground truth exact:
+
+* the inlined initial fragment is byte-identical to the
+  ``/fragment?...&s=0`` response, so an edge back to state 0 dedupes to
+  the initial state instead of minting a near-duplicate;
+* all events live inside ``#content`` (no static chrome events), so the
+  events fired from a state are exactly the spec's out-edges.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import Request, Response, not_found
+from repro.net.server import SimulatedServer
+from repro.testgen.spec import PageSpec, SiteSpec
+
+PAGE_SCRIPT_TEMPLATE = """
+var booted = 0;
+function fetchFragment(url) {{
+    var req = new XMLHttpRequest();
+    req.open("GET", url, true);
+    req.send(null);
+    return req.responseText;
+}}
+function go(s) {{
+    document.getElementById("content").innerHTML =
+        fetchFragment("/fragment?page={page_id}&s=" + s);
+}}
+function init() {{ booted = 1; }}
+"""
+
+
+class GeneratedSite(SimulatedServer):
+    """Serves the pages and fragment endpoints of one generated spec."""
+
+    def __init__(self, spec: SiteSpec) -> None:
+        self.spec = spec
+        self._by_path = {page.path: page for page in spec.pages}
+
+    @property
+    def base_url(self) -> str:
+        return self.spec.base_url
+
+    def all_urls(self) -> list[str]:
+        return self.spec.all_urls()
+
+    # -- server interface ------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        page = self._by_path.get(request.path)
+        if page is not None:
+            return Response(body=self.render_page(page))
+        if request.path == "/fragment":
+            return self._handle_fragment(request)
+        return not_found(request.url)
+
+    def _handle_fragment(self, request: Request) -> Response:
+        try:
+            page_id = int(request.query.get("page", ""))
+            state = int(request.query.get("s", ""))
+        except ValueError:
+            return not_found(request.url)
+        if not 0 <= page_id < len(self.spec.pages):
+            return not_found(request.url)
+        page = self.spec.pages[page_id]
+        if not 0 <= state < page.num_states:
+            return not_found(request.url)
+        return Response(body=self.render_fragment(page, state))
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_fragment(self, page: PageSpec, state: int) -> str:
+        """One state's ``#content`` markup: terms plus nav events."""
+        words = " ".join(page.words[state]) if page.words else ""
+        nav = "".join(
+            f'<li><a id="{t.element_id}" onclick="go({t.dst})">'
+            f"visit {t.dst}</a></li>"
+            for t in page.outgoing(state)
+        )
+        return (
+            f"<h2>area {page.page_id} state {state}</h2>\n"
+            f'<p class="terms">{page.marker_of(state)} {words}</p>\n'
+            f'<ul id="nav">{nav}</ul>'
+        )
+
+    def render_page(self, page: PageSpec) -> str:
+        script = PAGE_SCRIPT_TEMPLATE.format(page_id=page.page_id)
+        return f"""<html>
+<head><title>generated app {page.page_id}</title></head>
+<body onload="init()">
+<h1 id="page_title">generated app {page.page_id}</h1>
+<div id="content">{self.render_fragment(page, 0)}</div>
+<script type="text/javascript">{script}</script>
+</body>
+</html>"""
+
+
+def build_site(spec: SiteSpec) -> GeneratedSite:
+    """Convenience constructor mirroring ``generator.generate_site``."""
+    return GeneratedSite(spec)

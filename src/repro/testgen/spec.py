@@ -1,0 +1,192 @@
+"""Transition-graph specs for generated AJAX applications.
+
+A :class:`SiteSpec` is the *ground truth* a generated site is built
+from: every page is a sampled directed graph whose nodes are AJAX
+states and whose edges are click events fetching a state fragment over
+``XMLHttpRequest``.  Because the HTML, the page script and the XHR
+endpoints are all pure functions of the spec, the spec can answer — in
+closed form — every question the conformance harness asks of a crawl:
+
+* the exact reachable-state count per page (all states, by construction
+  every sampled graph is spanning from state 0);
+* the exact transition-edge set (no duplicate ``(src, dst)`` edges are
+  sampled, so the recovered edge set must match bijectively);
+* the searchable terms of every state (each state carries one globally
+  unique *marker* term plus a few corpus words);
+* the exact multiset of AJAX calls a basic crawl performs (one fetch
+  per edge) and the exact set a hot-node crawl performs (one fetch per
+  *distinct* fetch URL — the generator guarantees at least one state
+  has in-degree >= 2, so the hot-node saving is strictly positive).
+
+Specs serialize to JSON so a failing seed can be pinned in a bug
+report and regenerated bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """One sampled edge: a click on ``element_id`` in ``src`` loads ``dst``."""
+
+    src: int
+    dst: int
+    #: DOM id of the anchor carrying the ``onclick`` handler.
+    element_id: str
+
+    def to_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "element_id": self.element_id}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransitionSpec":
+        return cls(src=data["src"], dst=data["dst"], element_id=data["element_id"])
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """The ground-truth transition graph of one generated page."""
+
+    page_id: int
+    #: Request path of the page ("/app/<page_id>").
+    path: str
+    num_states: int
+    transitions: tuple[TransitionSpec, ...]
+    #: Globally unique, single-token marker term per state.
+    markers: tuple[str, ...]
+    #: Extra (shared, non-unique) corpus words per state.
+    words: tuple[tuple[str, ...], ...] = field(default=())
+
+    # -- oracles ---------------------------------------------------------------
+
+    @property
+    def edges(self) -> frozenset[tuple[int, int]]:
+        """The expected ``(src, dst)`` transition set."""
+        return frozenset((t.src, t.dst) for t in self.transitions)
+
+    def outgoing(self, state: int) -> list[TransitionSpec]:
+        """Out-edges of ``state`` in generation (= document) order."""
+        return [t for t in self.transitions if t.src == state]
+
+    def fetch_path(self, dst: int) -> str:
+        """The XHR path the generated script uses to load state ``dst``."""
+        return f"/fragment?page={self.page_id}&s={dst}"
+
+    def expected_fetches(self) -> Counter:
+        """Exact multiset of network AJAX calls of a basic (cache-less)
+        breadth-first crawl: each state is explored once and each of its
+        out-edges fires exactly one fetch of the destination fragment."""
+        return Counter(self.fetch_path(t.dst) for t in self.transitions)
+
+    def expected_unique_fetches(self) -> frozenset[str]:
+        """Distinct fetch URLs — what a hot-node crawl pays for."""
+        return frozenset(self.fetch_path(t.dst) for t in self.transitions)
+
+    def expected_network_calls(self, use_hot_node: bool) -> int:
+        """Exact AJAX-calls-on-the-wire count for either crawler mode."""
+        if use_hot_node:
+            return len(self.expected_unique_fetches())
+        return len(self.transitions)
+
+    def expected_cached_hits(self) -> int:
+        """Exact hot-node cache hits: repeat fetches of a seen URL."""
+        return len(self.transitions) - len(self.expected_unique_fetches())
+
+    def in_degree(self, state: int) -> int:
+        return sum(1 for t in self.transitions if t.dst == state)
+
+    def marker_of(self, state: int) -> str:
+        return self.markers[state]
+
+    def state_of_marker(self, marker: str) -> int:
+        return self.markers.index(marker)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "page_id": self.page_id,
+            "path": self.path,
+            "num_states": self.num_states,
+            "transitions": [t.to_dict() for t in self.transitions],
+            "markers": list(self.markers),
+            "words": [list(ws) for ws in self.words],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PageSpec":
+        return cls(
+            page_id=data["page_id"],
+            path=data["path"],
+            num_states=data["num_states"],
+            transitions=tuple(
+                TransitionSpec.from_dict(t) for t in data["transitions"]
+            ),
+            markers=tuple(data["markers"]),
+            words=tuple(tuple(ws) for ws in data["words"]),
+        )
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """A whole generated site: one or more independent AJAX pages."""
+
+    seed: int
+    base_url: str
+    pages: tuple[PageSpec, ...]
+
+    def page_url(self, page_id: int) -> str:
+        return f"{self.base_url}{self.pages[page_id].path}"
+
+    def all_urls(self) -> list[str]:
+        return [self.page_url(p.page_id) for p in self.pages]
+
+    def page_for_url(self, url: str) -> PageSpec:
+        for page in self.pages:
+            if self.page_url(page.page_id) == url:
+                return page
+        raise KeyError(f"no generated page serves {url!r}")
+
+    @property
+    def total_states(self) -> int:
+        return sum(p.num_states for p in self.pages)
+
+    @property
+    def total_transitions(self) -> int:
+        return sum(len(p.transitions) for p in self.pages)
+
+    #: The crawl cap every conformance crawl must run with so that no
+    #: genuine state is discarded (cap = initial + additional).
+    @property
+    def max_additional_states_needed(self) -> int:
+        return max(p.num_states for p in self.pages) - 1
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "base_url": self.base_url,
+            "pages": [p.to_dict() for p in self.pages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SiteSpec":
+        return cls(
+            seed=data["seed"],
+            base_url=data["base_url"],
+            pages=tuple(PageSpec.from_dict(p) for p in data["pages"]),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SiteSpec":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

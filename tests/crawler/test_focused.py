@@ -106,3 +106,60 @@ class TestFocusedCrawl:
             focused_count = focused_engine.result_count(term)
             if full_count:
                 assert focused_count / full_count > 0.5
+
+
+class TestFrontierExhaustion:
+    """The best-first frontier draining before the state cap is hit."""
+
+    def test_impossible_gate_exhausts_frontier_and_terminates(self, site):
+        # min_relevance = 1.0 is an impossible bar (relevance must be
+        # *strictly* greater), so only the initial state expands: the
+        # frontier fills with its depth-1 neighbours, every one is
+        # refused expansion, and the crawl drains the frontier without
+        # ever reaching the (generous) state cap.
+        config = CrawlerConfig(max_additional_states=500)
+        crawler = FocusedAjaxCrawler(
+            site,
+            InterestProfile(["wow", "dance"]),
+            config=config,
+            min_relevance=1.0,
+            cost_model=cost(),
+        )
+        result = crawler.crawl_page(site.video_url(0))
+        assert result.metrics.states_capped == 0
+        assert result.model.num_states < config.max_states
+        assert all(state.depth <= 1 for state in result.model.states())
+
+    def test_eventless_page_yields_single_state(self):
+        from repro.net import Response, RoutedServer
+
+        server = RoutedServer()
+
+        @server.route(r"/static")
+        def static(request, match):
+            return Response(body="<html><body><p>plain text only</p></body></html>")
+
+        crawler = FocusedAjaxCrawler(
+            server, InterestProfile(["plain"]), cost_model=cost()
+        )
+        result = crawler.crawl_page("http://t.test/static")
+        assert result.model.num_states == 1
+        assert result.model.num_transitions == 0
+
+    def test_generous_profile_recovers_generated_ground_truth(self):
+        """With every marker in the profile, focused == exhaustive: the
+        frontier only exhausts once the whole spec graph is recovered."""
+        from repro.testgen import GeneratedSite, conformance_config, spec_for_seed
+
+        spec = spec_for_seed(0, num_pages=1)
+        page = spec.pages[0]
+        crawler = FocusedAjaxCrawler(
+            GeneratedSite(spec),
+            InterestProfile(page.markers),
+            config=conformance_config(spec),
+            min_relevance=0.0,
+            cost_model=cost(),
+        )
+        result = crawler.crawl_page(spec.page_url(0))
+        assert result.model.num_states == page.num_states
+        assert result.model.num_transitions == len(page.transitions)

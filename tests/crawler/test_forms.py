@@ -140,3 +140,61 @@ class TestFormFillingCrawler:
         assert all(
             t.event.input_value is None for t in result.model.transitions()
         )
+
+
+class TestEmptyFormPaths:
+    def test_empty_dictionary_degenerates_to_basic_crawl(self, site):
+        """No values to probe: the form-filling crawler must behave
+        exactly like the base crawler (suggestions stay invisible)."""
+        filler = FormFillingAjaxCrawler(site, (), cost_model=cost())
+        filled = filler.crawl_page(site.search_url)
+        basic = AjaxCrawler(site, cost_model=cost()).crawl_page(site.search_url)
+        assert filled.model.num_states == basic.model.num_states == 1
+        assert filled.model.num_transitions == basic.model.num_transitions
+        assert all(
+            t.event.input_value is None for t in filled.model.transitions()
+        )
+
+    def test_no_op_form_handler_records_no_transition(self):
+        """Typing into a form whose handler never mutates the DOM is an
+        'empty submit': no new state and no transition may appear."""
+        from repro.net import Response, RoutedServer
+
+        server = RoutedServer()
+
+        @server.route(r"/form")
+        def form(request, match):
+            return Response(
+                body="""<html><body>
+                <input id="q" type="text" onkeyup="noop()">
+                <div id="out">stable</div>
+                <script>function noop() { var x = 1; }</script>
+                </body></html>"""
+            )
+
+        crawler = FormFillingAjaxCrawler(server, ("alpha", "beta"), cost_model=cost())
+        result = crawler.crawl_page("http://t.test/form")
+        assert result.model.num_states == 1
+        assert result.model.num_transitions == 0
+
+
+class TestDuplicateSubmitPaths:
+    def test_duplicate_dictionary_values_dedupe_states(self, site):
+        """Probing the same value twice must not mint duplicate states."""
+        once = FormFillingAjaxCrawler(
+            site, ("dance",), cost_model=cost()
+        ).crawl_page(site.search_url)
+        twice = FormFillingAjaxCrawler(
+            site, ("dance", "dance"), cost_model=cost()
+        ).crawl_page(site.search_url)
+        assert twice.model.num_states == once.model.num_states
+        assert {
+            t.event.input_value for t in twice.model.transitions()
+        } == {"dance"}
+
+    def test_duplicate_values_reach_identical_content(self, site):
+        result = FormFillingAjaxCrawler(
+            site, ("funny", "funny"), cost_model=cost()
+        ).crawl_page(site.search_url)
+        hashes = [s.content_hash for s in result.model.states()]
+        assert len(hashes) == len(set(hashes))

@@ -14,6 +14,10 @@ from repro.experiments.exp_threshold import (
 )
 from repro.experiments.harness import format_table
 
+# Whole-module experiment reproductions: the heaviest suites in the
+# repo, excluded from the `make test-fast` inner loop.
+pytestmark = pytest.mark.slow
+
 SMALL = 40
 
 

@@ -50,6 +50,7 @@ postings = st.builds(
 posting_list = st.lists(postings, max_size=40).map(sort_postings)
 
 
+@pytest.mark.slow
 @given(st.lists(posting_list, max_size=5))
 @settings(max_examples=150, deadline=None)
 def test_galloping_equals_naive_merge(lists):

@@ -1,0 +1,80 @@
+"""The `repro-ajax testgen` subcommand surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testgen import SiteSpec, spec_for_seed
+
+
+class TestGenerate:
+    def test_writes_spec_file(self, tmp_path, capsys):
+        out = tmp_path / "spec.json"
+        assert main(["testgen", "generate", "--seed", "7", "--out", str(out)]) == 0
+        assert SiteSpec.load(out) == spec_for_seed(7)
+
+    def test_prints_spec_json(self, capsys):
+        assert main(["testgen", "generate", "--seed", "3", "--pages", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert SiteSpec.from_dict(data) == spec_for_seed(3, num_pages=2)
+
+
+class TestConformance:
+    def test_passing_seeds(self, capsys):
+        assert main(["testgen", "conformance", "--seeds", "0:3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 seed(s), 0 conformance failure(s)" in out
+        assert out.count("PASS") == 3
+
+    def test_quiet_mode_prints_tally_only(self, capsys):
+        assert main(["testgen", "conformance", "--seeds", "0:2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" not in out
+        assert "2 seed(s), 0 conformance failure(s)" in out
+
+    def test_seed_list_selector(self, capsys):
+        assert main(["testgen", "conformance", "--seeds", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 1:" in out and "seed 4:" in out
+
+    def test_check_subset(self, capsys):
+        assert main(
+            ["testgen", "conformance", "--seeds", "0", "--checks", "ground_truth"]
+        ) == 0
+        assert "ground_truth=ok" in capsys.readouterr().out
+
+    def test_unknown_check_is_usage_error(self, capsys):
+        assert main(
+            ["testgen", "conformance", "--seeds", "0", "--checks", "vibes"]
+        ) == 2
+        assert "unknown checks" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_clean_corpus_exits_zero(self, capsys):
+        assert main(["testgen", "fuzz", "--seeds", "0:100"]) == 0
+        out = capsys.readouterr().out
+        assert "100 cases, 0 crash(es)" in out
+        assert "clean rejections" in out
+
+    def test_crash_exits_nonzero_and_shrinks(self, capsys, monkeypatch):
+        import repro.testgen.fuzz as fuzz_module
+
+        real_pipeline_for = fuzz_module.pipeline_for
+
+        def sabotaged(kind):
+            if kind == "markup":
+
+                def pipeline(text):
+                    raise IndexError("planted")
+
+                return pipeline
+            return real_pipeline_for(kind)
+
+        monkeypatch.setattr(fuzz_module, "pipeline_for", sabotaged)
+        assert main(["testgen", "fuzz", "--seeds", "2", "--shrink"]) == 1
+        out = capsys.readouterr().out
+        assert "1 crash(es)" in out
+        assert "CRASH" in out
+        assert "minimal repro" in out

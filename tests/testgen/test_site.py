@@ -1,0 +1,82 @@
+"""The generated server: routing, rendering, and the dedup invariant."""
+
+import pytest
+
+from repro.net.http import Request
+from repro.testgen import GeneratedSite, build_site, generate_site
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return generate_site(13, num_pages=2)
+
+
+@pytest.fixture(scope="module")
+def site(spec):
+    return GeneratedSite(spec)
+
+
+def get(site, url):
+    return site.handle(Request(method="GET", url=url))
+
+
+class TestRouting:
+    def test_pages_serve(self, spec, site):
+        for url in spec.all_urls():
+            response = get(site, url)
+            assert response.status == 200
+            assert "<script" in response.body
+
+    def test_fragment_serves(self, spec, site):
+        page = spec.pages[0]
+        response = get(site, f"{spec.base_url}{page.fetch_path(1)}")
+        assert response.status == 200
+        assert page.marker_of(1) in response.body
+
+    def test_unknown_path_404(self, spec, site):
+        assert get(site, f"{spec.base_url}/nope").status == 404
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "page=99&s=0",       # page out of range
+            "page=0&s=99",       # state out of range
+            "page=-1&s=0",       # negative page
+            "page=x&s=0",        # non-numeric page
+            "page=0&s=",         # missing state value
+            "",                  # no parameters at all
+        ],
+    )
+    def test_bad_fragment_params_404(self, spec, site, query):
+        assert get(site, f"{spec.base_url}/fragment?{query}").status == 404
+
+    def test_delegates_spec_accessors(self, spec, site):
+        assert site.base_url == spec.base_url
+        assert site.all_urls() == spec.all_urls()
+
+    def test_build_site(self, spec):
+        assert isinstance(build_site(spec), GeneratedSite)
+
+
+class TestRendering:
+    def test_inlined_fragment_matches_endpoint(self, spec, site):
+        """The dedup invariant: the markup inlined for state 0 must be
+        byte-identical to the fragment endpoint's response, so an edge
+        back to state 0 collapses onto the initial state."""
+        for page in spec.pages:
+            endpoint = get(site, f"{spec.base_url}{page.fetch_path(0)}").body
+            assert endpoint == site.render_fragment(page, 0)
+            assert endpoint in get(site, spec.page_url(page.page_id)).body
+
+    def test_every_out_edge_rendered_as_event(self, spec, site):
+        page = spec.pages[0]
+        for state in range(page.num_states):
+            body = site.render_fragment(page, state)
+            for transition in page.outgoing(state):
+                assert f'id="{transition.element_id}"' in body
+                assert f'onclick="go({transition.dst})"' in body
+
+    def test_states_render_distinct_markup(self, spec, site):
+        page = spec.pages[0]
+        rendered = {site.render_fragment(page, s) for s in range(page.num_states)}
+        assert len(rendered) == page.num_states
