@@ -7,9 +7,11 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 .PHONY: check test test-fast coverage bench-faults bench-smoke bench \
-	trace-verify trace-regen profile-smoke testgen-smoke
+	trace-verify trace-regen profile-smoke testgen-smoke serve-smoke \
+	bench-serving
 
-check: test bench-faults bench-smoke trace-verify profile-smoke testgen-smoke
+check: test bench-faults bench-smoke trace-verify profile-smoke testgen-smoke \
+	serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,8 +21,9 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
-# Stdlib-only line-coverage gate over src/repro/testgen/ (the container
-# has no coverage.py); thresholds live in tools/coverage_gate.py.
+# Stdlib-only line-coverage gate over src/repro/testgen/ and
+# src/repro/serve/ (the container has no coverage.py); thresholds live
+# in [tool.repro.coverage-gate] in pyproject.toml.
 coverage:
 	$(PYTHON) tools/coverage_gate.py
 
@@ -43,6 +46,16 @@ profile-smoke:
 testgen-smoke:
 	$(PYTHON) -m repro.cli testgen conformance --seeds 0:50 --quiet
 	$(PYTHON) -m repro.cli testgen fuzz --seeds 0:2000
+
+# Serving-tier gate: boot a real HTTP server over a crawled site and
+# drive the query/result/metrics/429 sequence end to end.
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke
+
+# Serving load benchmark: latency percentiles, RPS, cache hit rate and
+# 429 counts (writes benchmarks/results/BENCH_serving.json).
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving.py -q --benchmark-disable
 
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable

@@ -212,6 +212,81 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.clock import CostModel
+    from repro.crawler import AjaxCrawler
+    from repro.net.latency import (
+        ConstantLatency,
+        LognormalLatency,
+        SpikyLatency,
+        UniformJitter,
+    )
+    from repro.serve import SearchServer, SearchService, ServeConfig
+
+    if bool(args.index) == bool(args.site):
+        raise SystemExit("serve needs exactly one of --index or --site")
+    models = None
+    site = None
+    if args.index:
+        engine = SearchEngine(InvertedFile.load(args.index))
+        print(f"loaded index {args.index}: {engine.index.num_states} states")
+    else:
+        site = build_site(args.site)
+        urls = (
+            [site.video_url(i) for i in range(args.pages)]
+            if isinstance(site, SyntheticYouTube)
+            else [_default_start_url(site)]
+        )
+        crawler = AjaxCrawler(site, cost_model=CostModel(network_jitter=0.0))
+        crawled = crawler.crawl(urls)
+        models = crawled.models
+        engine = SearchEngine.build(models)
+        print(
+            f"crawled {len(models)} pages -> {engine.index.num_states} states "
+            "indexed (result replay enabled)"
+        )
+    shapes = {
+        "const": lambda seed: ConstantLatency(),
+        "uniform": lambda seed: UniformJitter(seed=seed),
+        "lognormal": lambda seed: LognormalLatency(seed=seed),
+        "spiky": lambda seed: SpikyLatency(seed=seed),
+    }
+    config = ServeConfig(
+        cache_entries=args.cache_entries,
+        cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+        rate_limit_rps=args.rate_limit if args.rate_limit > 0 else None,
+        rate_limit_burst=args.burst,
+        latency_ms=args.latency_ms,
+        latency_distribution=shapes[args.latency_shape](args.latency_seed),
+    )
+    service = SearchService(engine, config, models=models, site=site)
+    server = SearchServer(service, host=args.host, port=args.port)
+    print(f"serving on {server.url} (Ctrl-C to stop)")
+    print(f"  try: curl '{server.url}/search?q=american+idol'")
+    server.serve_forever()
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serve import LoadTestConfig, run_loadtest
+    from repro.sites import full_workload
+
+    queries = [query.text for query in full_workload(args.queries)]
+    config = LoadTestConfig(
+        workers=args.workers,
+        requests_per_worker=args.requests,
+        limit=args.limit,
+    )
+    report = run_loadtest(args.url, queries, config)
+    print(report.summary())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.out}")
+    return 1 if report.errors else 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     for directory in URLPartitioner.list_partitions(args.root):
         for model in load_models(directory):
@@ -449,6 +524,50 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--pagerank", default=None)
     search.add_argument("--limit", type=int, default=10)
     search.set_defaults(fn=cmd_search)
+
+    serve = sub.add_parser("serve", help="HTTP search service over an index or site")
+    serve.add_argument("--index", default=None, help="saved inverted file (search only)")
+    serve.add_argument(
+        "--site", default=None,
+        help="site spec to crawl + serve with /result replay, e.g. simtube:50:7",
+    )
+    serve.add_argument("--pages", type=int, default=25, help="pages to crawl with --site")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    serve.add_argument("--cache-entries", type=int, default=256)
+    serve.add_argument(
+        "--cache-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="query-cache TTL (0 = never expire)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="RPS",
+        help="per-client sustained requests/second (0 = unlimited)",
+    )
+    serve.add_argument("--burst", type=float, default=20.0, help="token-bucket capacity")
+    serve.add_argument(
+        "--latency-ms", type=float, default=0.0,
+        help="injected base latency per request (soak realism)",
+    )
+    serve.add_argument(
+        "--latency-shape", choices=("const", "uniform", "lognormal", "spiky"),
+        default="uniform",
+    )
+    serve.add_argument("--latency-seed", type=int, default=0x5EED)
+    serve.set_defaults(fn=cmd_serve)
+
+    loadtest = sub.add_parser("loadtest", help="closed-loop load test of a live server")
+    loadtest.add_argument("--url", required=True, help="server base URL")
+    loadtest.add_argument("--workers", type=int, default=4)
+    loadtest.add_argument(
+        "--requests", type=int, default=100, help="requests per worker"
+    )
+    loadtest.add_argument(
+        "--queries", type=int, default=100,
+        help="workload size (Table 7.4 queries first)",
+    )
+    loadtest.add_argument("--limit", type=int, default=10)
+    loadtest.add_argument("--out", default=None, metavar="FILE", help="JSON report")
+    loadtest.set_defaults(fn=cmd_loadtest)
 
     stats = sub.add_parser("stats", help="statistics over crawled models")
     stats.add_argument("--root", required=True)

@@ -26,6 +26,7 @@ from repro.obs.events import (
     QUERY_EVAL,
     REQUEST_FAILED,
     RETRY,
+    SERVE_REQUEST,
     SPAN_END,
     SPAN_START,
     STATE_CAPPED,
@@ -93,6 +94,7 @@ __all__ = [
     "HASH_INCREMENTAL",
     "INDEX_FLUSH",
     "QUERY_EVAL",
+    "SERVE_REQUEST",
     "SPAN_START",
     "SPAN_END",
     "to_jsonl",

@@ -51,6 +51,9 @@ HASH_INCREMENTAL = "hash_incremental"
 INDEX_FLUSH = "index_flush"
 #: The search engine evaluated one query.
 QUERY_EVAL = "query_eval"
+#: The HTTP serving layer answered one request (endpoint, status,
+#: cached, client — emitted once per request by ``repro.serve``).
+SERVE_REQUEST = "serve_request"
 #: A causal span opened (``span`` names the span kind, ``span_id`` is
 #: unique per recorder, ``parent_id`` links to the enclosing span).
 SPAN_START = "span_start"
@@ -74,6 +77,7 @@ EVENT_KINDS = (
     HASH_INCREMENTAL,
     INDEX_FLUSH,
     QUERY_EVAL,
+    SERVE_REQUEST,
     SPAN_START,
     SPAN_END,
 )

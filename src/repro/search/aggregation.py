@@ -35,7 +35,16 @@ class ResultAggregator:
         page = self.browser.load(model.url, run_scripts=True, run_onload=False)
         page.run_onload()
         for transition in path:
-            self._replay(page, transition)
+            try:
+                self._replay(page, transition)
+            except CrawlerError as exc:
+                # A missing event binding is the same snapshot-isolation
+                # violation as a hash mismatch; keep the documented
+                # contract that reconstruction failures are SearchErrors.
+                raise SearchError(
+                    f"replay of {model.url} failed en route to state "
+                    f"{state_id}: {exc}"
+                ) from exc
         expected = model.get_state(state_id)
         arrived = page.content_hash() == expected.content_hash
         if not arrived:

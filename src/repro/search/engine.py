@@ -42,6 +42,9 @@ class SearchEngine:
         recorder=NULL_RECORDER,
     ) -> None:
         self.index = index
+        # Finalize eagerly: the serving hot path must never be the first
+        # caller that mutates (sorts) a lazily built index.
+        index.finalize()
         self.pageranks = pageranks or {}
         self.ajaxranks = ajaxranks or {}
         self.weights = weights

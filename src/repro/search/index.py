@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
 from typing import Iterable, Optional
 
@@ -48,6 +49,9 @@ class InvertedFile:
         #: (uri, state_id) -> terms it contains (for incremental removal).
         self._state_terms: dict[tuple[str, str], tuple[str, ...]] = {}
         self._sorted = True
+        # finalize() may be reached lazily from postings() by concurrent
+        # query threads; the lock makes the sort-once transition safe.
+        self._finalize_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------------
 
@@ -111,19 +115,27 @@ class InvertedFile:
         return self
 
     def finalize(self) -> None:
-        """Sort posting lists into canonical order (idempotent)."""
+        """Sort posting lists into canonical order (idempotent, thread-safe).
+
+        Double-checked locking: the unlocked fast path keeps finalized
+        reads free, the locked re-check makes the first ``postings()``
+        calls of concurrent query threads safe on a freshly built index.
+        """
         if self._sorted:
             return
-        with self.recorder.span("index_flush"):
-            for term in self._postings:
-                self._postings[term] = sort_postings(self._postings[term])
-            self._sorted = True
-            if self.recorder.enabled:
-                self.recorder.emit(
-                    INDEX_FLUSH,
-                    num_states=self.num_states,
-                    vocabulary=self.vocabulary_size,
-                )
+        with self._finalize_lock:
+            if self._sorted:
+                return
+            with self.recorder.span("index_flush"):
+                for term in self._postings:
+                    self._postings[term] = sort_postings(self._postings[term])
+                self._sorted = True
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        INDEX_FLUSH,
+                        num_states=self.num_states,
+                        vocabulary=self.vocabulary_size,
+                    )
 
     # -- lookups ------------------------------------------------------------------
 

@@ -44,11 +44,16 @@ def tokenize_with_positions(
 
 
 def query_terms(query: str, stopwords: Optional[Container[str]] = None) -> list[str]:
-    """Tokenize a user query (same normalization as the index)."""
+    """Tokenize a user query (same normalization as the index).
+
+    Terms are deduplicated order-preservingly: boolean retrieval is
+    set-based, and a repeated term must not count its tf·idf twice
+    (``"apple apple"`` has to score exactly like ``"apple"``).
+    """
     terms = tokenize(query)
-    if stopwords is None:
-        return terms
-    filtered = [term for term in terms if term not in stopwords]
-    # An all-stopword query falls back to the raw terms rather than
-    # becoming unanswerable.
-    return filtered or terms
+    if stopwords is not None:
+        filtered = [term for term in terms if term not in stopwords]
+        # An all-stopword query falls back to the raw terms rather than
+        # becoming unanswerable.
+        terms = filtered or terms
+    return list(dict.fromkeys(terms))

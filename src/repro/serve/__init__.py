@@ -1,0 +1,51 @@
+"""The HTTP query-serving layer (chapters 5–6, served to searchers).
+
+Stdlib-only: a :class:`~http.server.ThreadingHTTPServer` front end over
+the :class:`~repro.search.SearchEngine`, with an LRU+TTL query cache,
+per-client token-bucket rate limiting, deterministic latency injection
+for soak realism, Prometheus metrics at ``/metrics``, and §5.4 result
+reconstruction at ``/result``.  ``repro.serve.loadtest`` is the paired
+closed-loop load generator; ``python -m repro.serve.smoke`` is the
+end-to-end gate.
+"""
+
+from repro.serve.cache import QueryCache
+from repro.serve.handlers import CLIENT_HEADER, SearchRequestHandler, make_handler
+from repro.serve.limiter import RateDecision, TokenBucketLimiter
+from repro.serve.loadtest import (
+    LoadTestConfig,
+    LoadTestReport,
+    percentile,
+    run_loadtest,
+)
+from repro.serve.server import SearchServer
+from repro.serve.service import (
+    BadRequest,
+    NotFound,
+    RateLimited,
+    SearchService,
+    ServeConfig,
+    ServeError,
+    UpstreamFailed,
+)
+
+__all__ = [
+    "QueryCache",
+    "TokenBucketLimiter",
+    "RateDecision",
+    "SearchService",
+    "ServeConfig",
+    "ServeError",
+    "BadRequest",
+    "NotFound",
+    "RateLimited",
+    "UpstreamFailed",
+    "SearchServer",
+    "SearchRequestHandler",
+    "make_handler",
+    "CLIENT_HEADER",
+    "LoadTestConfig",
+    "LoadTestReport",
+    "run_loadtest",
+    "percentile",
+]

@@ -1,0 +1,108 @@
+"""The query-result cache: LRU eviction + TTL expiry, metered.
+
+Search traffic is heavily head-skewed (the Table 7.4 workload repeats a
+handful of popular queries), so even a small LRU in front of the engine
+absorbs most of the serving load.  Entries expire after a TTL because a
+re-crawl may replace the index underneath a long-running server.
+
+The clock is injectable (any zero-argument callable returning seconds)
+so TTL behaviour is testable deterministically; production uses
+``time.monotonic``.  Every outcome is booked on a
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+* ``serve.cache_hit`` / ``serve.cache_miss`` — lookup outcomes
+  (an expired entry counts as a miss, *and* as ``serve.cache_expired``),
+* ``serve.cache_evicted`` — LRU pressure evictions,
+* ``serve.cache_size`` — current entry count (gauge).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+from repro.obs import MetricsRegistry
+
+
+class QueryCache:
+    """A lock-protected LRU + TTL map from query keys to responses."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_s: Optional[float] = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0 (0 disables the cache)")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (None = never expires)")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self.clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        #: key -> (value, expiry deadline in clock seconds, or None).
+        self._entries: "OrderedDict[Hashable, tuple[Any, Optional[float]]]" = (
+            OrderedDict()
+        )
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, or None on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.registry.inc("serve.cache_miss")
+                return None
+            value, deadline = entry
+            if deadline is not None and self.clock() >= deadline:
+                del self._entries[key]
+                self.registry.inc("serve.cache_expired")
+                self.registry.inc("serve.cache_miss")
+                self.registry.set_gauge("serve.cache_size", len(self._entries))
+                return None
+            self._entries.move_to_end(key)
+            self.registry.inc("serve.cache_hit")
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``; evicts the least-recently-used entry if full."""
+        if self.max_entries == 0:
+            return
+        deadline = None if self.ttl_s is None else self.clock() + self.ttl_s
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, deadline)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.registry.inc("serve.cache_evicted")
+            self.registry.set_gauge("serve.cache_size", len(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.registry.set_gauge("serve.cache_size", 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self.registry.counter("serve.cache_hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.registry.counter("serve.cache_miss"))
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

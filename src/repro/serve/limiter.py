@@ -1,0 +1,95 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+Each client (the ``X-Client-Id`` header, falling back to the peer
+address) owns one bucket holding up to ``burst`` tokens; tokens refill
+continuously at ``rate`` per second and every admitted request spends
+one.  A drained bucket rejects with the exact time until the next token
+— the handler turns that into ``429`` + ``Retry-After``.
+
+Refill is computed from an injectable clock (seconds), so the tests
+drive it on a virtual clock and the refill schedule is deterministic:
+after ``burst`` admissions at t=0, request ``burst+1`` is rejected with
+``retry_after == 1/rate`` exactly.
+
+Rejections are booked as ``serve.ratelimited`` on the registry;
+admissions as ``serve.admitted``.  The bucket map is itself LRU-bounded
+so an open server cannot be grown without limit by spoofed client ids.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """The outcome of one admission check."""
+
+    allowed: bool
+    #: Seconds until a token is available (0.0 when allowed).
+    retry_after_s: float = 0.0
+
+
+class TokenBucketLimiter:
+    """Lock-protected per-client token buckets with continuous refill."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        max_clients: int = 1024,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (tokens per second)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1 (bucket capacity)")
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_clients = max_clients
+        self._lock = threading.Lock()
+        #: client -> (tokens, last refill timestamp in clock seconds).
+        self._buckets: "OrderedDict[str, tuple[float, float]]" = OrderedDict()
+
+    def check(self, client: str) -> RateDecision:
+        """Admit or reject one request from ``client``."""
+        now = self.clock()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                decision = RateDecision(allowed=True)
+                tokens -= 1.0
+                self.registry.inc("serve.admitted")
+            else:
+                decision = RateDecision(
+                    allowed=False, retry_after_s=(1.0 - tokens) / self.rate
+                )
+                self.registry.inc("serve.ratelimited")
+            self._buckets[client] = (tokens, now)
+            self._buckets.move_to_end(client)
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        return decision
+
+    def tokens(self, client: str) -> float:
+        """Current token balance of ``client`` (refilled to now)."""
+        now = self.clock()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (self.burst, now))
+            return min(self.burst, tokens + (now - last) * self.rate)
+
+    @property
+    def rejections(self) -> int:
+        return int(self.registry.counter("serve.ratelimited"))

@@ -1,0 +1,89 @@
+"""The threaded HTTP server wrapper: lifecycle, ephemeral ports.
+
+:class:`SearchServer` owns a :class:`http.server.ThreadingHTTPServer`
+(one thread per connection — the stdlib's ``socketserver`` threadpool
+analogue) running the bound handler from :mod:`repro.serve.handlers`.
+``port=0`` binds an ephemeral port, which the smoke test and the
+load-test harness rely on to boot throwaway servers without racing for
+a fixed port.
+
+The server runs on a daemon background thread; :meth:`stop` shuts the
+accept loop down and joins it, so tests can assert a clean shutdown.
+It is also a context manager::
+
+    with SearchServer(service) as server:
+        urllib.request.urlopen(server.url + "/healthz")
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Optional
+
+from repro.serve.handlers import make_handler
+from repro.serve.service import SearchService
+
+
+class SearchServer:
+    """A background-threaded HTTP search service."""
+
+    def __init__(
+        self, service: SearchService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), make_handler(service))
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one, even when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SearchServer":
+        """Start serving on a background thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-serve:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> bool:
+        """Shut down the accept loop; True when the thread joined."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            joined = not self._thread.is_alive()
+            self._thread = None
+            return joined
+        return True
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "SearchServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

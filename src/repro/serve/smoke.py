@@ -1,0 +1,166 @@
+"""Serving smoke test: boot, query, verify, shut down.
+
+``python -m repro.serve.smoke`` (the ``make serve-smoke`` gate) crawls
+a small synthetic YouTube, boots a real HTTP server on an ephemeral
+port, drives a mini Table 7.4 workload over actual sockets, and checks
+the serving contract end to end:
+
+1. every workload query answers 200, and a second pass answers from
+   the cache (nonzero ``serve.cache_hit`` on ``/metrics``),
+2. ``/result`` replays a hit state and returns its HTML,
+3. the error mapping holds: blank query → 400, unknown endpoint → 404,
+4. a drained token bucket answers 429 with a ``Retry-After`` header,
+5. the server shuts down cleanly (the accept thread joins).
+
+Exit status 0 on success, 1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from urllib.parse import urlencode
+
+from repro.clock import CostModel
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.search import SearchEngine
+from repro.serve.server import SearchServer
+from repro.serve.service import SearchService, ServeConfig
+from repro.sites import SiteConfig, SyntheticYouTube, paper_queries
+
+
+def _get(url: str, client: str = "smoke") -> tuple[int, dict | str, dict]:
+    """(status, parsed body, headers) for one GET; 4xx/5xx don't raise."""
+    request = urllib.request.Request(url, headers={"X-Client-Id": client})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            status, body, headers = (
+                response.status,
+                response.read(),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        status, body, headers = error.code, error.read(), dict(error.headers)
+    text = body.decode("utf-8")
+    if headers.get("Content-Type", "").startswith("application/json"):
+        return status, json.loads(text), headers
+    return status, text, headers
+
+
+def run_smoke(num_videos: int = 12, verbose: bool = True) -> int:
+    """Run the smoke sequence; returns a process exit status."""
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"[serve-smoke] {message}")
+
+    site = SyntheticYouTube(SiteConfig(num_videos=num_videos, seed=7))
+    crawler = AjaxCrawler(
+        site, CrawlerConfig(), cost_model=CostModel(network_jitter=0.0)
+    )
+    crawled = crawler.crawl([site.video_url(i) for i in range(num_videos)])
+    engine = SearchEngine.build(crawled.models)
+    say(
+        f"crawled {len(crawled.models)} pages -> "
+        f"{engine.index.num_states} states indexed"
+    )
+
+    service = SearchService(
+        engine,
+        ServeConfig(rate_limit_rps=50.0, rate_limit_burst=4.0),
+        models=crawled.models,
+        site=site,
+    )
+    queries = [query.text for query in paper_queries()]
+    with SearchServer(service) as server:
+        say(f"serving on {server.url}")
+
+        # 1. The mini workload, twice: second pass must come from cache.
+        first_hit: tuple[str, str] | None = None
+        for round_number in range(2):
+            for offset, query in enumerate(queries):
+                client = f"workload-{offset}"  # spread the token buckets
+                status, body, _ = _get(
+                    f"{server.url}/search?{urlencode({'q': query})}", client
+                )
+                check(status == 200, f"{query!r} answered {status}, wanted 200")
+                if status != 200:
+                    continue
+                check(
+                    body["cached"] == (round_number == 1),
+                    f"{query!r} round {round_number}: cached={body['cached']}",
+                )
+                if first_hit is None and body["results"]:
+                    top = body["results"][0]
+                    first_hit = (top["uri"], top["state"])
+        check(first_hit is not None, "no workload query returned any result")
+
+        # 2. Replay one hit state.
+        if first_hit is not None:
+            uri, state = first_hit
+            status, body, _ = _get(
+                f"{server.url}/result?{urlencode({'uri': uri, 'state': state})}",
+                "replay",
+            )
+            check(status == 200, f"/result answered {status}, wanted 200")
+            check(
+                status == 200 and bool(body["html"]),
+                "/result returned no HTML",
+            )
+            say(f"replayed {uri} {state}: {status}")
+
+        # 3. Error mapping.
+        status, _, _ = _get(f"{server.url}/search?q=++", "errors")
+        check(status == 400, f"blank query answered {status}, wanted 400")
+        status, _, _ = _get(f"{server.url}/nope", "errors")
+        check(status == 404, f"unknown endpoint answered {status}, wanted 404")
+
+        # 4. Rate limiting: burst of 4, so a run of 6 must see a 429,
+        # and every rejection must carry Retry-After.
+        responses = [
+            _get(f"{server.url}/search?q=video", "burster") for _ in range(6)
+        ]
+        statuses = [status for status, _, _ in responses]
+        check(429 in statuses, f"no 429 in burst statuses {statuses}")
+        for status, _, headers in responses:
+            if status == 429:
+                check(
+                    "Retry-After" in headers,
+                    "429 response carries no Retry-After header",
+                )
+
+        # Metrics: requests and cache hits must both be visible.
+        status, text, _ = _get(f"{server.url}/metrics", "metrics")
+        check(status == 200, f"/metrics answered {status}, wanted 200")
+        check(
+            isinstance(text, str) and "serve_requests" in text,
+            "serve_requests missing from /metrics",
+        )
+        hits = service.cache.hits
+        check(hits >= len(queries), f"expected >= {len(queries)} cache hits, got {hits}")
+        say(
+            f"workload done: cache {hits} hit(s) / "
+            f"{service.cache.misses} miss(es), "
+            f"{service.limiter.rejections} rate-limited"
+        )
+
+    # 5. Clean shutdown (the context manager already stopped it).
+    check(server._thread is None, "server thread did not join on stop()")
+
+    if failures:
+        for failure in failures:
+            print(f"[serve-smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    say("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

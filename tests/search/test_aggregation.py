@@ -82,3 +82,45 @@ class TestEndToEnd:
         aggregator = ResultAggregator(Browser(site, cost_model=CostModel(network_jitter=0.0)))
         page = aggregator.reconstruct(model, hit.state_id)
         assert rare_word in page.text
+
+    def test_missing_event_binding_raises_search_error(self, site, crawled):
+        """Regression: a transition whose event no longer exists on the
+        page used to leak CrawlerError through reconstruct()."""
+        import dataclasses
+
+        index, model = crawled
+        deep = max(model.states(), key=lambda state: state.depth)
+        transition = model.event_path_to(deep.state_id)[-1]
+        # Tamper with the recorded annotation: the handler name no
+        # longer matches anything the live page binds.
+        original = transition.event
+        tampered = dataclasses.replace(original, handler="vanished()")
+        object.__setattr__(transition, "event", tampered)
+        aggregator = ResultAggregator(
+            Browser(site, cost_model=CostModel(network_jitter=0.0))
+        )
+        try:
+            with pytest.raises(SearchError, match="replay .* failed"):
+                aggregator.reconstruct(model, deep.state_id)
+        finally:
+            object.__setattr__(transition, "event", original)
+
+    def test_both_failure_modes_are_search_errors(self, site, crawled):
+        """The server maps reconstruction failures to one error class:
+        drift detection and replay failure both raise SearchError."""
+        from repro.errors import ReproError
+
+        index, model = crawled
+        deep = max(model.states(), key=lambda state: state.depth)
+        original = deep.content_hash
+        deep.content_hash = "f" * 64
+        aggregator = ResultAggregator(
+            Browser(site, cost_model=CostModel(network_jitter=0.0))
+        )
+        try:
+            with pytest.raises(SearchError):
+                aggregator.reconstruct(model, deep.state_id)
+        except ReproError:  # pragma: no cover - would mean a leak
+            pytest.fail("reconstruct leaked a non-SearchError ReproError")
+        finally:
+            deep.content_hash = original

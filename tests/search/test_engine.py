@@ -141,3 +141,42 @@ class TestSearchEngine:
         one = [(r.uri, r.state_id) for r in engine.search("morcheeba")]
         two = [(r.uri, r.state_id) for r in engine.search("morcheeba")]
         assert one == two
+
+
+class TestDuplicateTermScoring:
+    """Regression: duplicate query terms must not double-count tf·idf."""
+
+    def test_repeated_term_scores_like_single(self, engine):
+        single = engine.search("morcheeba")
+        doubled = engine.search("morcheeba morcheeba")
+        assert [(r.uri, r.state_id) for r in doubled] == [
+            (r.uri, r.state_id) for r in single
+        ]
+        for one, two in zip(single, doubled):
+            assert two.score == pytest.approx(one.score)
+            assert two.components["tfidf"] == pytest.approx(one.components["tfidf"])
+
+    def test_repeated_conjunction_term_scores_like_deduped(self, engine):
+        deduped = engine.search("morcheeba singer")
+        repeated = engine.search("morcheeba singer morcheeba")
+        assert len(repeated) == len(deduped) == 1
+        assert repeated[0].score == pytest.approx(deduped[0].score)
+
+    def test_match_postings_parallel_to_deduped_terms(self, models):
+        from repro.search import query_terms
+
+        index = InvertedFile().build(models)
+        terms = query_terms("morcheeba morcheeba singer")
+        assert terms == ["morcheeba", "singer"]
+        (match,) = evaluate(index, "morcheeba morcheeba singer")
+        assert len(match.postings) == len(terms)
+
+    def test_query_terms_dedupe_preserves_order(self):
+        from repro.search import query_terms
+
+        assert query_terms("b a b c a") == ["b", "a", "c"]
+
+    def test_stopword_fallback_also_dedupes(self):
+        from repro.search import ENGLISH_STOPWORDS, query_terms
+
+        assert query_terms("the the", stopwords=ENGLISH_STOPWORDS) == ["the"]

@@ -122,3 +122,46 @@ class TestSerialization:
         path = tmp_path / "index.json"
         index.save(path)
         assert InvertedFile.load(path).max_state_index == 1
+
+
+class TestFinalizeThreadSafety:
+    """Regression: the first queries of a fresh index used to race on
+    the lazy sort in finalize()."""
+
+    def test_concurrent_first_postings_calls_are_safe(self):
+        import threading
+
+        texts = [f"shared term{i} filler words here" for i in range(40)]
+        index = InvertedFile()
+        index.add_model(make_model("u", texts))
+        assert not index._sorted
+        expected = InvertedFile().build([make_model("u", texts)]).postings("shared")
+        barrier = threading.Barrier(8)
+        results: list[list] = [None] * 8
+        errors: list[BaseException] = []
+
+        def query(slot: int) -> None:
+            try:
+                barrier.wait()
+                results[slot] = index.postings("shared")
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert index._sorted
+        for result in results:
+            assert result == expected
+
+    def test_engine_construction_finalizes_eagerly(self):
+        from repro.search import SearchEngine
+
+        index = InvertedFile()
+        index.add_model(make_model("u", ["hello world"]))
+        assert not index._sorted
+        SearchEngine(index)
+        assert index._sorted

@@ -1,0 +1,118 @@
+"""Unit tests for the LRU+TTL query cache."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import QueryCache
+
+from tests.serve.conftest import FakeClock
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestLru:
+    def test_get_miss_then_hit(self, clock, registry):
+        cache = QueryCache(max_entries=2, ttl_s=None, clock=clock, registry=registry)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_evicts_least_recently_used(self, clock, registry):
+        cache = QueryCache(max_entries=2, ttl_s=None, clock=clock, registry=registry)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert registry.counter("serve.cache_evicted") == 1
+
+    def test_put_existing_key_updates_without_evicting(self, clock, registry):
+        cache = QueryCache(max_entries=2, ttl_s=None, clock=clock, registry=registry)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert registry.counter("serve.cache_evicted") == 0
+
+    def test_size_gauge_tracks_entries(self, clock, registry):
+        cache = QueryCache(max_entries=4, ttl_s=None, clock=clock, registry=registry)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert registry.gauge("serve.cache_size") == 2
+
+    def test_zero_entries_disables_caching(self, clock, registry):
+        cache = QueryCache(max_entries=0, ttl_s=None, clock=clock, registry=registry)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self, clock, registry):
+        cache = QueryCache(max_entries=4, ttl_s=None, clock=clock, registry=registry)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert registry.gauge("serve.cache_size") == 0
+
+
+class TestTtl:
+    def test_entry_expires_after_ttl(self, clock, registry):
+        cache = QueryCache(max_entries=4, ttl_s=10.0, clock=clock, registry=registry)
+        cache.put("a", 1)
+        clock.advance(9.999)
+        assert cache.get("a") == 1
+        clock.advance(0.001)  # exactly at the deadline: expired
+        assert cache.get("a") is None
+        assert registry.counter("serve.cache_expired") == 1
+
+    def test_expiry_counts_as_miss_in_hit_accounting(self, clock, registry):
+        cache = QueryCache(max_entries=4, ttl_s=5.0, clock=clock, registry=registry)
+        cache.put("a", 1)
+        assert cache.get("a") == 1  # hit
+        clock.advance(6.0)
+        assert cache.get("a") is None  # expired -> miss
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert registry.counter("serve.cache_expired") == 1
+        # The expired entry is gone, not resurrected on the next probe.
+        assert cache.get("a") is None
+        assert cache.misses == 2
+        assert registry.counter("serve.cache_expired") == 1
+
+    def test_reinsert_after_expiry_restarts_ttl(self, clock, registry):
+        cache = QueryCache(max_entries=4, ttl_s=5.0, clock=clock, registry=registry)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        assert cache.get("a") is None
+        cache.put("a", 2)
+        clock.advance(4.0)
+        assert cache.get("a") == 2
+
+    def test_none_ttl_never_expires(self, clock, registry):
+        cache = QueryCache(max_entries=4, ttl_s=None, clock=clock, registry=registry)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestValidation:
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=-1)
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(ttl_s=0.0)

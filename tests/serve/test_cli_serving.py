@@ -1,0 +1,71 @@
+"""CLI surface tests for ``repro-ajax serve`` and ``repro-ajax loadtest``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import SearchServer, SearchService
+
+
+class TestServeArgs:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve", "--index", "x.json", "--site", "webmail"])
+
+    def test_serves_saved_index(self, engine, tmp_path, monkeypatch, capsys):
+        """``serve --index`` boots from a saved inverted file; we stub
+        the blocking accept loop and probe the configured service."""
+        index_file = tmp_path / "index.json"
+        engine.index.save(index_file)
+        booted = {}
+
+        def fake_serve_forever(self):
+            booted["service"] = self.service
+
+        monkeypatch.setattr(SearchServer, "serve_forever", fake_serve_forever)
+        assert main(
+            ["serve", "--index", str(index_file), "--port", "0",
+             "--rate-limit", "5", "--cache-ttl", "0"]
+        ) == 0
+        service = booted["service"]
+        assert service.engine.index.num_states == 3
+        assert service.limiter is not None and service.limiter.rate == 5.0
+        assert service.cache.ttl_s is None
+        assert service.search({"q": "morcheeba"})["total"] == 3
+        assert "serving on" in capsys.readouterr().out
+
+    def test_serves_crawled_site_with_models(self, monkeypatch, capsys):
+        booted = {}
+        monkeypatch.setattr(
+            SearchServer,
+            "serve_forever",
+            lambda self: booted.update(service=self.service),
+        )
+        assert main(
+            ["serve", "--site", "simtube:6:13", "--pages", "4", "--port", "0",
+             "--latency-ms", "5", "--latency-shape", "const"]
+        ) == 0
+        service = booted["service"]
+        assert len(service.models) == 4
+        assert service.site is not None
+        assert "replay enabled" in capsys.readouterr().out
+
+
+class TestLoadtestCommand:
+    def test_loadtest_against_live_server(self, engine, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        with SearchServer(SearchService(engine)) as server:
+            code = main(
+                ["loadtest", "--url", server.url, "--workers", "2",
+                 "--requests", "5", "--queries", "4", "--out", str(out)]
+            )
+        assert code == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["requests"] == 10
+        assert report["errors"] == 0
+        captured = capsys.readouterr().out
+        assert "req/s" in captured
+        assert "report written" in captured

@@ -1,0 +1,85 @@
+"""Unit tests for the token-bucket rate limiter (virtual clock)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import TokenBucketLimiter
+
+from tests.serve.conftest import FakeClock
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestBucket:
+    def test_burst_admitted_then_rejected(self, clock):
+        limiter = TokenBucketLimiter(rate=1.0, burst=3.0, clock=clock)
+        decisions = [limiter.check("c") for _ in range(4)]
+        assert [d.allowed for d in decisions] == [True, True, True, False]
+
+    def test_retry_after_is_exact_on_virtual_clock(self, clock):
+        limiter = TokenBucketLimiter(rate=2.0, burst=1.0, clock=clock)
+        assert limiter.check("c").allowed
+        denied = limiter.check("c")
+        assert not denied.allowed
+        # Empty bucket at rate 2/s: the next token is 0.5 s away.
+        assert denied.retry_after_s == pytest.approx(0.5)
+
+    def test_refill_is_deterministic(self, clock):
+        limiter = TokenBucketLimiter(rate=2.0, burst=1.0, clock=clock)
+        assert limiter.check("c").allowed
+        assert not limiter.check("c").allowed
+        clock.advance(0.49)
+        assert not limiter.check("c").allowed
+        clock.advance(0.02)  # past the 0.5 s refill point
+        assert limiter.check("c").allowed
+
+    def test_refill_caps_at_burst(self, clock):
+        limiter = TokenBucketLimiter(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)  # a long idle period refills to burst, not more
+        assert limiter.tokens("c") == pytest.approx(2.0)
+        assert limiter.check("c").allowed
+        assert limiter.check("c").allowed
+        assert not limiter.check("c").allowed
+
+    def test_clients_have_independent_buckets(self, clock):
+        limiter = TokenBucketLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.check("a").allowed
+        assert limiter.check("b").allowed
+        assert not limiter.check("a").allowed
+        assert not limiter.check("b").allowed
+
+    def test_rejections_counted(self, clock):
+        registry = MetricsRegistry()
+        limiter = TokenBucketLimiter(
+            rate=1.0, burst=1.0, clock=clock, registry=registry
+        )
+        limiter.check("c")
+        limiter.check("c")
+        limiter.check("c")
+        assert limiter.rejections == 2
+        assert registry.counter("serve.admitted") == 1
+
+    def test_bucket_map_is_bounded(self, clock):
+        limiter = TokenBucketLimiter(
+            rate=1.0, burst=1.0, clock=clock, max_clients=4
+        )
+        for client in "abcdefgh":
+            limiter.check(client)
+        assert len(limiter._buckets) == 4
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=0.0, burst=1.0)
+
+    def test_bad_burst(self):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=1.0, burst=0.5)
+
+    def test_bad_max_clients(self):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(rate=1.0, burst=1.0, max_clients=0)

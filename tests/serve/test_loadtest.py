@@ -1,0 +1,99 @@
+"""Tests for the closed-loop load-test harness."""
+
+import pytest
+
+from repro.serve import (
+    LoadTestConfig,
+    SearchServer,
+    SearchService,
+    ServeConfig,
+    percentile,
+    run_loadtest,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestRunLoadtest:
+    @pytest.fixture
+    def server(self, engine):
+        with SearchServer(SearchService(engine)) as running:
+            yield running
+
+    def test_closed_loop_run(self, server):
+        config = LoadTestConfig(workers=2, requests_per_worker=15)
+        report = run_loadtest(
+            server.url, ["morcheeba", "singer", "concert"], config
+        )
+        assert report.requests == 30
+        assert report.errors == 0
+        assert report.status_counts == {200: 30}
+        # Three distinct (query, limit) keys: everything after the first
+        # pass is a cache hit.
+        assert report.cached_responses >= 20
+        assert report.cache_hit_rate > 0.5
+        assert report.rps > 0
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+
+    def test_report_round_trips_to_json(self, server):
+        report = run_loadtest(
+            server.url,
+            ["morcheeba"],
+            LoadTestConfig(workers=1, requests_per_worker=5),
+        )
+        data = report.to_dict()
+        assert data["requests"] == 5
+        assert data["status_counts"] == {"200": 5}
+        assert data["rps"] == pytest.approx(report.rps)
+        assert report.summary()
+
+    def test_rate_limited_server_reports_429s(self, engine):
+        config = ServeConfig(rate_limit_rps=0.001, rate_limit_burst=3.0)
+        with SearchServer(SearchService(engine, config)) as server:
+            report = run_loadtest(
+                server.url,
+                ["morcheeba"],
+                LoadTestConfig(workers=1, requests_per_worker=10),
+            )
+        assert report.rate_limited == 7
+        assert report.status_counts[200] == 3
+
+    def test_mixed_status_queries(self, engine):
+        """400s are counted per status, not as transport errors."""
+        with SearchServer(SearchService(engine)) as server:
+            report = run_loadtest(
+                server.url,
+                ["morcheeba", "!!!"],
+                LoadTestConfig(workers=1, requests_per_worker=10),
+            )
+        assert report.errors == 0
+        assert report.status_counts[200] == 5
+        assert report.status_counts[400] == 5
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_loadtest("http://127.0.0.1:1", [])
+
+
+def test_smoke_sequence_passes():
+    """The make serve-smoke gate, at test size."""
+    from repro.serve.smoke import run_smoke
+
+    assert run_smoke(num_videos=6, verbose=False) == 0
