@@ -8,7 +8,7 @@ export PYTHONPATH
 
 .PHONY: check test test-fast coverage bench-faults bench-smoke bench \
 	trace-verify trace-regen profile-smoke testgen-smoke serve-smoke \
-	bench-serving
+	bench-serving bench-parallel
 
 check: test bench-faults bench-smoke trace-verify profile-smoke testgen-smoke \
 	serve-smoke
@@ -56,6 +56,12 @@ serve-smoke:
 # 429 counts (writes benchmarks/results/BENCH_serving.json).
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving.py -q --benchmark-disable
+
+# Threads-backend scaling gate: wall-clock speedup over 1/2/4 workers
+# on a real-latency site, with a loose >=1.5x floor at 4 workers
+# (writes benchmarks/results/BENCH_parallel.json).
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py -q --benchmark-disable
 
 bench-faults:
 	$(PYTHON) -m pytest benchmarks/bench_ext_faults.py -q --benchmark-disable

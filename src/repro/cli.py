@@ -43,16 +43,20 @@ from repro.obs import (
     format_span_tree,
     format_summary,
     from_jsonl,
+    merge_partition_traces,
     profile_components,
     summarize_jsonl,
     to_speedscope,
 )
 from repro.parallel import (
+    BACKENDS,
+    MPAjaxCrawler,
     Precrawler,
     PrecrawlResult,
     SimpleAjaxCrawler,
     URLPartitioner,
     load_models,
+    save_models,
 )
 from repro.search import InvertedFile, SearchEngine
 from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
@@ -124,32 +128,89 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     elif want_spans:
         # Profiling without a trace file keeps events in memory.
         recorder = Recorder(spans=True)
-    worker = SimpleAjaxCrawler(
-        server, config, traditional=args.traditional, recorder=recorder
-    )
     total_pages = total_states = total_failed = 0
     total_ms = 0.0
     failures = []
+    profile_events = None
     metrics = MetricsRegistry() if (args.metrics or args.profile) else None
     # The sink must be flushed/closed even when a partition crawl
     # raises mid-run — a truncated-but-flushed trace is still
     # diagnosable, a stranded buffer is not.
     try:
-        for directory in URLPartitioner.list_partitions(args.root):
-            result, summary = worker.crawl_partition_dir(directory)
-            if metrics is not None:
-                metrics.merge(summary.network.registry)
-                metrics.merge(result.report.registry)
-            total_pages += summary.num_pages
-            total_states += summary.total_states
-            total_failed += summary.failed_pages
-            total_ms += summary.crawl_time_ms
-            failures.extend(result.failures)
-            print(
-                f"partition {summary.partition}: {summary.num_pages} pages, "
-                f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
-                + (f", {summary.failed_pages} failed" if summary.failed_pages else "")
+        if args.backend == "threads":
+            # Real-concurrency path: every partition crawled by a fresh
+            # worker on the thread backend; models persisted per
+            # directory afterwards from the per-partition results.
+            directories = URLPartitioner.list_partitions(args.root)
+            partitions = [URLPartitioner.read(d) for d in directories]
+            partition_recorders: dict[int, Recorder] = {}
+
+            def recorder_factory(partition: int) -> Recorder:
+                # Each partition records into its own memory buffer; the
+                # buffers merge into one canonical stream afterwards, so
+                # the written trace is deterministic however the threads
+                # interleaved.
+                rec = Recorder(spans=want_spans)
+                partition_recorders[partition] = rec
+                return rec
+
+            controller = MPAjaxCrawler(
+                server,
+                num_proc_lines=args.workers,
+                config=config,
+                traditional=args.traditional,
+                recorder_factory=(
+                    recorder_factory if (sink is not None or want_spans) else None
+                ),
             )
+            run = controller.run(partitions, backend="threads")
+            for index, directory in enumerate(directories, start=1):
+                save_models(run.partition_results[index].models, directory)
+            if partition_recorders:
+                profile_events = merge_partition_traces(
+                    {p: r.events for p, r in partition_recorders.items()}
+                )
+                if sink is not None:
+                    for event in profile_events:
+                        sink.write(event)
+            for summary in run.summaries:
+                total_pages += summary.num_pages
+                total_states += summary.total_states
+                total_failed += summary.failed_pages
+                total_ms += summary.crawl_time_ms
+                print(
+                    f"partition {summary.partition}: {summary.num_pages} pages, "
+                    f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
+                    + (f", {summary.failed_pages} failed" if summary.failed_pages else "")
+                )
+            failures.extend(run.result.failures)
+            if metrics is not None:
+                metrics.merge(run.stats.registry)
+                metrics.merge(run.result.report.registry)
+            print(
+                f"threads backend: {args.workers} workers, "
+                f"{run.wall_time_ms / 1000:.2f}s wall, "
+                f"{run.partitions_stolen} partition(s) stolen"
+            )
+        else:
+            worker = SimpleAjaxCrawler(
+                server, config, traditional=args.traditional, recorder=recorder
+            )
+            for directory in URLPartitioner.list_partitions(args.root):
+                result, summary = worker.crawl_partition_dir(directory)
+                if metrics is not None:
+                    metrics.merge(summary.network.registry)
+                    metrics.merge(result.report.registry)
+                total_pages += summary.num_pages
+                total_states += summary.total_states
+                total_failed += summary.failed_pages
+                total_ms += summary.crawl_time_ms
+                failures.extend(result.failures)
+                print(
+                    f"partition {summary.partition}: {summary.num_pages} pages, "
+                    f"{summary.total_states} states, {summary.crawl_time_ms / 1000:.1f}s virtual"
+                    + (f", {summary.failed_pages} failed" if summary.failed_pages else "")
+                )
     finally:
         if sink is not None:
             sink.close()
@@ -172,7 +233,9 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         Path(args.metrics).write_text(metrics.to_json(), encoding="utf-8")
         print(f"metrics written to {args.metrics}")
     if args.profile:
-        if sink is not None:
+        if profile_events is not None:
+            events = profile_events
+        elif sink is not None:
             events = from_jsonl(Path(args.trace).read_text(encoding="utf-8"))
         else:
             events = recorder.events
@@ -509,6 +572,15 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument(
         "--profile", action="store_true",
         help="record spans and print the component profile + doctor findings",
+    )
+    crawl.add_argument(
+        "--backend", choices=sorted(BACKENDS), default="simulated",
+        help="execution engine: deterministic virtual-time simulation "
+             "(default) or real worker threads",
+    )
+    crawl.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads for --backend threads (default 4)",
     )
     crawl.set_defaults(fn=cmd_crawl)
 

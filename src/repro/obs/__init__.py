@@ -72,6 +72,7 @@ from repro.obs.spans import Span, SpanNestingError, SpanTree, format_span_tree
 from repro.obs.trace import (
     diff_traces,
     format_summary,
+    merge_partition_traces,
     normalize_lines,
     summarize,
     summarize_jsonl,
@@ -109,6 +110,7 @@ __all__ = [
     "Histogram",
     "DEFAULT_BUCKETS",
     "normalize_lines",
+    "merge_partition_traces",
     "diff_traces",
     "summarize",
     "summarize_jsonl",

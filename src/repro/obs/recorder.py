@@ -36,6 +36,7 @@ existed) stay byte-identical.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Any, Optional, TextIO
 
@@ -62,25 +63,35 @@ class JsonlTraceSink:
     Usable as a context manager so a crawl that raises mid-run still
     flushes and closes the file — otherwise buffered events are lost
     with the interpreter's stdio teardown.
+
+    One sink may be shared by several recorders on several threads (the
+    threaded crawl backend hands every partition recorder the same
+    file): a write lock serializes whole lines, so concurrent writers
+    interleave *events*, never bytes — every line stays valid JSON.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._handle: Optional[TextIO] = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
 
     def write(self, event: TraceEvent) -> None:
-        if self._handle is None:
-            raise ValueError(f"trace sink {self.path} already closed")
-        self._handle.write(event.to_json() + "\n")
+        line = event.to_json() + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"trace sink {self.path} already closed")
+            self._handle.write(line)
 
     def flush(self) -> None:
-        if self._handle is not None:
-            self._handle.flush()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JsonlTraceSink":
         return self
@@ -149,12 +160,19 @@ class Recorder:
         clock: Optional[SimClock] = None,
         sink: Optional[Any] = None,
         spans: bool = False,
+        wall_clock: bool = False,
     ) -> None:
         self.clock = clock
         self.sink = sink if sink is not None else MemorySink()
         #: Whether the causal span layer is on.  Off by default so
         #: span-free traces stay byte-identical to earlier builds.
         self.spans = spans
+        #: Whether events also carry ``wall_ms`` — real elapsed ms since
+        #: the recorder was created, alongside the virtual ``t_ms``.
+        #: Off by default: wall time is nondeterministic, so it never
+        #: appears in golden traces or parity comparisons.
+        self.wall_clock = wall_clock
+        self._wall_start = time.perf_counter()
         self._seq = 0
         self._span_ids = 0
         self._lock = threading.Lock()
@@ -220,6 +238,10 @@ class Recorder:
             stack = self._span_stack()
             if stack:
                 fields["parent_id"] = stack[-1]
+        if self.wall_clock:
+            fields["wall_ms"] = round(
+                (time.perf_counter() - self._wall_start) * 1000.0, 3
+            )
         with self._lock:
             seq = self._seq
             self._seq += 1

@@ -1,0 +1,175 @@
+"""The sharded crawl frontier: per-worker deques with work stealing.
+
+The real-concurrency backend distributes partition tasks over one shard
+per worker.  Each shard is a deque behind its own lock: the owning
+worker pops from the *front* of its shard (FIFO over the partitions it
+was dealt), and a worker whose shard ran dry *steals* from the **back**
+of the currently longest other shard — the classic work-stealing deque
+discipline, which keeps stolen work as far as possible from the work
+the victim is about to touch.  Stealing is what fixes partition skew
+(the trace doctor's ``partition-skew`` rule): when one worker's shard
+holds the straggler partitions, idle workers drain its queue instead of
+going home early.
+
+Shards are **bounded**: ``push`` blocks while the target shard is at
+capacity, so a producer enumerating a huge partition list cannot run
+arbitrarily far ahead of the crawl (backpressure).  ``close()`` marks
+the end of input; ``pop`` returns ``None`` only when the frontier is
+closed *and* every shard is empty, so workers never miss late pushes.
+
+Lock discipline: shard locks are only ever taken one at a time (the
+steal scan inspects lengths without locks and locks a single victim),
+so there is no ordering to get wrong and no deadlock.  Idle waiting
+uses short timed waits on a shared condition rather than busy-spinning.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """One unit of crawl work: a numbered URL partition."""
+
+    number: int
+    urls: tuple[str, ...]
+
+
+class _Shard(Generic[T]):
+    """One worker's deque plus the lock and not-full condition guarding it."""
+
+    __slots__ = ("items", "lock", "not_full")
+
+    def __init__(self) -> None:
+        self.items: deque[T] = deque()
+        self.lock = threading.Lock()
+        self.not_full = threading.Condition(self.lock)
+
+
+class ShardedFrontier(Generic[T]):
+    """A bounded, lock-protected, work-stealing task frontier."""
+
+    def __init__(self, num_shards: int, capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds each shard (``None`` = unbounded)."""
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if capacity is not None and capacity < 1:
+            raise ValueError("shard capacity must be positive")
+        self.num_shards = num_shards
+        self.capacity = capacity
+        self._shards: list[_Shard[T]] = [_Shard() for _ in range(num_shards)]
+        self._closed = False
+        # Wakes idle workers when work arrives or the frontier closes.
+        self._work_available = threading.Condition(threading.Lock())
+        self._steals = 0
+        self._pushes = 0
+
+    # -- producer side ------------------------------------------------------------
+
+    def push(self, item: T, shard: Optional[int] = None) -> None:
+        """Enqueue ``item`` on ``shard`` (blocking while it is full).
+
+        Without an explicit shard, items are dealt round-robin by push
+        order.  Raises ``ValueError`` on a closed frontier.
+        """
+        if shard is None:
+            shard = self._pushes % self.num_shards
+        target = self._shards[shard % self.num_shards]
+        with target.not_full:
+            while (
+                self.capacity is not None
+                and len(target.items) >= self.capacity
+                and not self._closed
+            ):
+                target.not_full.wait(timeout=0.05)
+            if self._closed:
+                raise ValueError("cannot push onto a closed frontier")
+            target.items.append(item)
+            self._pushes += 1
+        with self._work_available:
+            self._work_available.notify_all()
+
+    def close(self) -> None:
+        """Mark the end of input and wake every idle worker."""
+        with self._work_available:
+            self._closed = True
+            self._work_available.notify_all()
+        for shard in self._shards:
+            with shard.not_full:
+                shard.not_full.notify_all()
+
+    # -- consumer side ------------------------------------------------------------
+
+    def pop(self, shard: int) -> Optional[T]:
+        """Next task for the worker owning ``shard``.
+
+        Pops the worker's own shard front-first; steals from the back
+        of the longest other shard when the own shard is empty; blocks
+        while the frontier is open but momentarily dry.  Returns
+        ``None`` once the frontier is closed and fully drained.
+        """
+        own = self._shards[shard % self.num_shards]
+        while True:
+            item = self._pop_front(own)
+            if item is not None:
+                return item
+            item = self._steal(shard % self.num_shards)
+            if item is not None:
+                return item
+            with self._work_available:
+                if self._closed and self._total_queued() == 0:
+                    return None
+                # Timed wait: robust against wakeups lost between the
+                # length check and the wait (no shard lock is held here).
+                self._work_available.wait(timeout=0.05)
+
+    def _pop_front(self, shard: _Shard[T]) -> Optional[T]:
+        with shard.not_full:
+            if not shard.items:
+                return None
+            item = shard.items.popleft()
+            shard.not_full.notify()
+            return item
+
+    def _steal(self, thief: int) -> Optional[T]:
+        """Take one task from the back of the longest other shard."""
+        victims = sorted(
+            (index for index in range(self.num_shards) if index != thief),
+            key=lambda index: len(self._shards[index].items),
+            reverse=True,
+        )
+        for index in victims:
+            victim = self._shards[index]
+            with victim.not_full:
+                if not victim.items:
+                    continue
+                item = victim.items.pop()
+                victim.not_full.notify()
+            with self._work_available:
+                self._steals += 1
+            return item
+        return None
+
+    # -- introspection ------------------------------------------------------------
+
+    def _total_queued(self) -> int:
+        return sum(len(shard.items) for shard in self._shards)
+
+    @property
+    def steals(self) -> int:
+        """Tasks taken from a shard other than the popping worker's own."""
+        return self._steals
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def queue_lengths(self) -> list[int]:
+        """Current shard depths (diagnostics; racy by nature)."""
+        return [len(shard.items) for shard in self._shards]

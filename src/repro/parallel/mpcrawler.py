@@ -2,9 +2,10 @@
 
 The thesis runs ``nOfProcLines`` threads, each serially launching
 ``SimpleAjaxCrawler`` JVM processes until all partitions are consumed.
-We reproduce that scheduler in two flavours:
+We reproduce that scheduler behind a pluggable execution backend
+(:mod:`repro.parallel.backend`):
 
-* :meth:`MPAjaxCrawler.run_simulated` — a deterministic discrete-event
+* ``backend="simulated"`` (default) — a deterministic discrete-event
   simulation over virtual time.  Each process line keeps its own
   timeline; a free line grabs the next partition (exactly the
   ``getPartitionID()`` protocol).  Network waits overlap perfectly
@@ -12,16 +13,18 @@ We reproduce that scheduler in two flavours:
   contends for the machine's cores, and each launched process pays a
   startup overhead — which is why the thesis' measured gain from four
   process lines on a dual-core Xeon was only ~26-28% (Figure 7.8), not
-  4x.
+  4x.  Every golden trace, figure and table is recorded against this
+  engine.
 
-* :meth:`MPAjaxCrawler.run_threaded` — a real ``ThreadPoolExecutor``
-  run for wall-clock use (each partition crawl is fully independent,
-  the SPMD observation of §6.1).
+* ``backend="threads"`` — a real ``ThreadPoolExecutor`` engine for
+  wall-clock use (each partition crawl is fully independent, the SPMD
+  observation of §6.1), with a sharded work-stealing frontier and
+  bounded queues.  Its merged crawl output is identical to the
+  simulated engine's; only scheduling/wall-clock fields differ.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -64,7 +67,8 @@ class ParallelRunResult:
     summaries: list[PartitionRunSummary] = field(default_factory=list)
     #: Virtual wall-clock of the whole run (max over process lines).
     makespan_ms: float = 0.0
-    #: Per-line virtual finish times.
+    #: Per-line finish times: virtual ms on the simulated backend, real
+    #: per-worker busy ms on the threads backend.
     line_finish_ms: list[float] = field(default_factory=list)
     #: Network counters merged over every partition worker.
     stats: NetworkStats = field(default_factory=NetworkStats)
@@ -73,10 +77,23 @@ class ParallelRunResult:
     partition_numbers: list[int] = field(default_factory=list)
     #: Scheduled duration of each partition on its process line
     #: (startup + network + stretched CPU for the simulated runner,
-    #: measured crawl time for the threaded one).
+    #: measured wall ms for the threaded one).
     partition_durations_ms: list[float] = field(default_factory=list)
     #: Process lines the run was scheduled on.
     num_proc_lines: int = 0
+    #: The execution backend that produced this result.
+    backend: str = "simulated"
+    #: Per-partition crawl results, keyed by partition number (model
+    #: persistence and per-partition indexing read these; the merged
+    #: ``result`` references the same objects).
+    partition_results: dict[int, CrawlResult] = field(default_factory=dict)
+    #: Real elapsed milliseconds of the whole run (threads backend;
+    #: 0.0 on the simulated backend, which runs on virtual time only).
+    wall_time_ms: float = 0.0
+    #: Real busy milliseconds per worker thread (threads backend).
+    worker_wall_ms: list[float] = field(default_factory=list)
+    #: Partitions a worker took from another worker's shard.
+    partitions_stolen: int = 0
 
     @property
     def registry(self):
@@ -125,8 +142,13 @@ class MPAjaxCrawler:
         self.cost_model = cost_model
         #: Optional per-partition trace recorders: called with the
         #: partition number, returns the recorder that partition's
-        #: worker uses (traces cannot share one sequence across
-        #: concurrent partitions without losing determinism).
+        #: worker uses.  Traces cannot share one sequence across
+        #: concurrent partitions without losing determinism, so each
+        #: partition gets its own recorder; the per-partition streams
+        #: recombine with :func:`repro.obs.merge_partition_traces`.  A
+        #: factory handing every recorder the same
+        #: :class:`~repro.obs.JsonlTraceSink` is safe on the threads
+        #: backend — the sink serializes writers internally.
         self.recorder_factory = recorder_factory
 
     def _recorder_for(self, partition: int):
@@ -135,97 +157,50 @@ class MPAjaxCrawler:
             return NULL_RECORDER
         return self.recorder_factory(partition)
 
-    # -- simulated scheduler -------------------------------------------------------
+    def crawl_partition(
+        self,
+        number: int,
+        urls: list[str],
+        cost_model: Optional[CostModel] = None,
+    ) -> tuple[CrawlResult, PartitionRunSummary]:
+        """Crawl one numbered partition with a fresh worker.
+
+        The worker owns every piece of mutable crawl state (clock,
+        browser, model store, hash caches, stats), which is what makes
+        partition crawls backend-agnostic: the simulated engine calls
+        this serially, the threaded engine concurrently.
+        ``cost_model`` overrides the controller's (the threaded engine
+        passes per-partition RNG clones); ``None`` uses the shared one.
+        """
+        worker = SimpleAjaxCrawler(
+            self.server,
+            self.config,
+            traditional=self.traditional,
+            cost_model=cost_model if cost_model is not None else self.cost_model,
+            recorder=self._recorder_for(number),
+        )
+        return worker.crawl_urls(urls, partition=number)
+
+    # -- backend dispatch ------------------------------------------------------------
+
+    def run(
+        self, partitions: list[list[str]], backend: object = "simulated"
+    ) -> ParallelRunResult:
+        """Crawl all partitions on the given execution backend.
+
+        ``backend`` is a registry name (``"simulated"``, ``"threads"``)
+        or an :class:`~repro.parallel.backend.ExecutionBackend`
+        instance.  The merged crawl output is backend-independent; the
+        scheduling and wall-clock fields are not.
+        """
+        from repro.parallel.backend import resolve_backend
+
+        return resolve_backend(backend).run(self, partitions)
 
     def run_simulated(self, partitions: list[list[str]]) -> ParallelRunResult:
-        """Crawl all partitions on virtual time.
-
-        Each partition is crawled (deterministically) to obtain its
-        network and CPU cost, then scheduled onto the earliest-free
-        process line with contention-stretched CPU time.
-        """
-        merged = CrawlResult()
-        merged_stats = NetworkStats()
-        summaries: list[PartitionRunSummary] = []
-        partition_numbers: list[int] = []
-        partition_durations: list[float] = []
-        line_times = [0.0] * self.num_proc_lines
-        stretch = self.machine.cpu_stretch(min(self.num_proc_lines, max(len(partitions), 1)))
-        for number, urls in enumerate(partitions, start=1):
-            worker = SimpleAjaxCrawler(
-                self.server,
-                self.config,
-                traditional=self.traditional,
-                cost_model=self.cost_model,
-                recorder=self._recorder_for(number),
-            )
-            result, summary = worker.crawl_urls(urls, partition=number)
-            merged.merge(result)
-            merged_stats.merge(summary.network)
-            summaries.append(summary)
-            duration = (
-                self.machine.process_startup_ms
-                + summary.network_time_ms
-                + summary.cpu_time_ms * stretch
-            )
-            partition_numbers.append(number)
-            partition_durations.append(duration)
-            # Earliest-free line grabs the next partition (getPartitionID()).
-            line = min(range(self.num_proc_lines), key=lambda i: line_times[i])
-            line_times[line] += duration
-        return ParallelRunResult(
-            result=merged,
-            summaries=summaries,
-            makespan_ms=max(line_times) if partitions else 0.0,
-            line_finish_ms=list(line_times),
-            stats=merged_stats,
-            partition_numbers=partition_numbers,
-            partition_durations_ms=partition_durations,
-            num_proc_lines=self.num_proc_lines,
-        )
-
-    # -- real threads -----------------------------------------------------------------
+        """Crawl all partitions on virtual time (the default backend)."""
+        return self.run(partitions, backend="simulated")
 
     def run_threaded(self, partitions: list[list[str]]) -> ParallelRunResult:
-        """Crawl partitions on real threads (wall-clock parallelism).
-
-        Virtual makespan is approximated as the max of per-line sums,
-        mirroring the simulated scheduler's accounting.
-        """
-        def crawl_one(item: tuple[int, list[str]]):
-            number, urls = item
-            worker = SimpleAjaxCrawler(
-                self.server,
-                self.config,
-                traditional=self.traditional,
-                cost_model=self.cost_model,
-                recorder=self._recorder_for(number),
-            )
-            return worker.crawl_urls(urls, partition=number)
-
-        merged = CrawlResult()
-        merged_stats = NetworkStats()
-        summaries: list[PartitionRunSummary] = []
-        partition_numbers: list[int] = []
-        partition_durations: list[float] = []
-        with ThreadPoolExecutor(max_workers=self.num_proc_lines) as pool:
-            outcomes = list(pool.map(crawl_one, enumerate(partitions, start=1)))
-        line_times = [0.0] * self.num_proc_lines
-        for result, summary in outcomes:
-            merged.merge(result)
-            merged_stats.merge(summary.network)
-            summaries.append(summary)
-            partition_numbers.append(summary.partition)
-            partition_durations.append(summary.crawl_time_ms)
-            line = min(range(self.num_proc_lines), key=lambda i: line_times[i])
-            line_times[line] += summary.crawl_time_ms
-        return ParallelRunResult(
-            result=merged,
-            summaries=summaries,
-            makespan_ms=max(line_times) if partitions else 0.0,
-            line_finish_ms=list(line_times),
-            stats=merged_stats,
-            partition_numbers=partition_numbers,
-            partition_durations_ms=partition_durations,
-            num_proc_lines=self.num_proc_lines,
-        )
+        """Crawl partitions on real threads (wall-clock parallelism)."""
+        return self.run(partitions, backend="threads")

@@ -14,6 +14,10 @@ ground truth, or against another crawler variant that must agree:
 * ``parallel_parity`` — a single ``SimpleAjaxCrawler`` run vs an
   ``MPAjaxCrawler`` partitioned run: the merged report and models must
   equal the single-run ones.
+* ``backend_parity`` — the same ``MPAjaxCrawler`` partitions on the
+  simulated engine vs the real-thread engine: merged report, model
+  list (order included), network counters and search results must be
+  identical; only scheduling/wall-clock fields may differ.
 * ``search_consistency`` — an index built over the crawled models
   answers every per-state marker query with exactly that state, and
   corpus-word result counts match the spec's term placement.
@@ -45,6 +49,7 @@ CHECK_NAMES = (
     "hotnode_parity",
     "incremental_parity",
     "parallel_parity",
+    "backend_parity",
     "search_consistency",
 )
 
@@ -419,6 +424,100 @@ def check_parallel_parity(
     return result
 
 
+def check_backend_parity(
+    spec: SiteSpec, num_partitions: int = 2, num_workers: int = 2
+) -> CheckResult:
+    """Simulated vs real-thread execution backends must agree exactly.
+
+    Both engines crawl the same partitions through the same
+    ``MPAjaxCrawler``; everything that describes the *crawl* — merged
+    report (virtual time included), per-model states and transitions,
+    model order, network counters, search answers — must be identical.
+    Wall-clock and scheduling fields (``makespan_ms``, ``wall_time_ms``,
+    ``worker_wall_ms``, ``partitions_stolen``, ``line_finish_ms``,
+    ``partition_durations_ms``) describe the engine and are exempt.
+    """
+    result = CheckResult("backend_parity")
+    partitions = _partition(spec.all_urls(), num_partitions)
+
+    def controller() -> MPAjaxCrawler:
+        return MPAjaxCrawler(
+            GeneratedSite(spec),
+            num_proc_lines=num_workers,
+            config=conformance_config(spec),
+            cost_model=_cost_model(),
+        )
+
+    simulated = controller().run(partitions, backend="simulated")
+    threaded = controller().run(partitions, backend="threads")
+    result.expect(simulated.backend == "simulated", "simulated run mistagged")
+    result.expect(threaded.backend == "threads", "threaded run mistagged")
+    sim_report = simulated.result.report
+    thr_report = threaded.result.report
+    for quantity in (
+        "num_pages",
+        "total_states",
+        "total_events",
+        "total_ajax_calls",
+        "total_cached_hits",
+        "total_states_capped",
+        "total_events_quarantined",
+    ):
+        result.expect(
+            getattr(sim_report, quantity) == getattr(thr_report, quantity),
+            f"{quantity}: simulated {getattr(sim_report, quantity)} != "
+            f"threads {getattr(thr_report, quantity)}",
+        )
+    result.expect(
+        sim_report.total_time_ms == thr_report.total_time_ms,
+        f"virtual crawl time diverged: simulated {sim_report.total_time_ms} "
+        f"vs threads {thr_report.total_time_ms}",
+    )
+    result.expect(
+        simulated.total_failed_pages == 0 and threaded.total_failed_pages == 0,
+        "a fault-free generated crawl reported page failures",
+    )
+    sim_urls = [model.url for model in simulated.result.models]
+    thr_urls = [model.url for model in threaded.result.models]
+    result.expect(
+        sim_urls == thr_urls,
+        f"merged model order diverged: {sim_urls} vs {thr_urls}",
+    )
+    sim_prints = _model_fingerprints(simulated.result.models)
+    thr_prints = _model_fingerprints(threaded.result.models)
+    for url in sim_prints:
+        result.expect(
+            sim_prints[url] == thr_prints.get(url),
+            f"{url}: models diverged between backends",
+        )
+    result.expect(
+        simulated.stats.registry.snapshot() == threaded.stats.registry.snapshot(),
+        "merged network metrics diverged between backends",
+    )
+    result.expect(
+        sorted(simulated.partition_results) == sorted(threaded.partition_results),
+        "backends produced different partition numbers",
+    )
+    # The crawled corpus answers queries identically whichever engine
+    # produced it: every per-state marker resolves to the same state.
+    sim_engine = SearchEngine.build(simulated.result.models)
+    thr_engine = SearchEngine.build(threaded.result.models)
+    for page in spec.pages:
+        for marker in page.markers:
+            sim_hits = [
+                (hit.uri, hit.state_id, hit.score) for hit in sim_engine.search(marker)
+            ]
+            thr_hits = [
+                (hit.uri, hit.state_id, hit.score) for hit in thr_engine.search(marker)
+            ]
+            result.expect(
+                sim_hits == thr_hits,
+                f"marker {marker!r}: search results diverged "
+                f"({sim_hits} vs {thr_hits})",
+            )
+    return result
+
+
 def check_search_consistency(spec: SiteSpec) -> CheckResult:
     """Indexed search results must match the spec's per-state terms."""
     result = CheckResult("search_consistency")
@@ -479,6 +578,7 @@ def run_conformance(
         "hotnode_parity": check_hotnode_parity,
         "incremental_parity": check_incremental_parity,
         "parallel_parity": check_parallel_parity,
+        "backend_parity": check_backend_parity,
         "search_consistency": check_search_consistency,
     }
     report = ConformanceReport(spec=spec)

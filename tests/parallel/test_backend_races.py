@@ -1,0 +1,142 @@
+"""Race regressions for the per-worker metrics merge.
+
+Two angles on the same claim — partitioned metric accounting is
+lossless under real concurrency:
+
+* a barrier-style test where N threads book into their own registries
+  simultaneously and the merged result equals a sequential single
+  registry applying every operation;
+* a hypothesis property that the merge is insensitive to how a booking
+  sequence is split across workers and to the order the worker
+  registries are folded back together.  Integer values keep counter
+  equality exact (float addition is order-sensitive).
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import MetricsRegistry
+
+NAMES = ("crawl.pages", "net.bytes", "cache.hits")
+LABELS = ({}, {"url": "a"}, {"url": "b"}, {"kind": "page"})
+
+
+def apply_ops(registry, ops):
+    for op, name, value, labels in ops:
+        if op == "inc":
+            registry.inc(name, value, **labels)
+        elif op == "gauge":
+            registry.set_gauge(name, value, **labels)
+        else:
+            registry.observe(name, value, **labels)
+
+
+class TestBarrierMerge:
+    def test_eight_thread_merge_equals_sequential_booking(self):
+        workers, each = 8, 300
+        ops_per_worker = [
+            [
+                (
+                    ("inc", "gauge", "observe")[(w + i) % 3],
+                    NAMES[i % len(NAMES)],
+                    # Gauge merge keeps the max; make values increase
+                    # with the global op index so sequential
+                    # last-write-wins and merged max coincide.
+                    w * each + i,
+                    LABELS[(w + i) % len(LABELS)],
+                )
+                for i in range(each)
+            ]
+            for w in range(workers)
+        ]
+        registries = [MetricsRegistry() for _ in range(workers)]
+        barrier = threading.Barrier(workers)
+
+        def book(worker_id):
+            barrier.wait()
+            apply_ops(registries[worker_id], ops_per_worker[worker_id])
+
+        threads = [
+            threading.Thread(target=book, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged.merge(registry)
+        sequential = MetricsRegistry()
+        for worker_ops in ops_per_worker:
+            apply_ops(sequential, worker_ops)
+        assert merged.snapshot() == sequential.snapshot()
+
+    def test_concurrent_booking_into_one_registry_loses_nothing(self):
+        """The registry's own lock: 8 threads hammer one instance."""
+        registry = MetricsRegistry()
+        workers, each = 8, 500
+        barrier = threading.Barrier(workers)
+
+        def hammer(worker_id):
+            barrier.wait()
+            for i in range(each):
+                registry.inc("crawl.pages", 1)
+                registry.observe("net.time_ms", float(i % 7))
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert registry.counter("crawl.pages") == workers * each
+        assert registry.histogram("net.time_ms").count == workers * each
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["inc", "observe"]),
+        st.sampled_from(NAMES),
+        st.integers(min_value=0, max_value=1_000),
+        st.sampled_from(LABELS),
+    ),
+    max_size=60,
+)
+
+
+class TestMergeProperty:
+    @given(
+        ops=ops_strategy,
+        cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=6),
+        fold_reversed=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_split_and_fold_order_insensitive(
+        self, ops, cuts, fold_reversed
+    ):
+        """However a booking sequence is split across N workers, and in
+        whatever order the worker registries fold together, the merge
+        equals one worker booking everything."""
+        bounds = sorted({min(c, len(ops)) for c in cuts})
+        pieces = []
+        previous = 0
+        for bound in bounds + [len(ops)]:
+            pieces.append(ops[previous:bound])
+            previous = bound
+        workers = []
+        for piece in pieces:
+            registry = MetricsRegistry()
+            apply_ops(registry, piece)
+            workers.append(registry)
+        if fold_reversed:
+            workers.reverse()
+        merged = MetricsRegistry()
+        for registry in workers:
+            merged.merge(registry)
+        single = MetricsRegistry()
+        apply_ops(single, ops)
+        assert merged.snapshot() == single.snapshot()

@@ -1,0 +1,202 @@
+"""The sharded work-stealing frontier: discipline, bounds, races.
+
+The frontier's contract has three load-bearing parts — FIFO over the
+owner's shard, steal-from-the-back of the longest other shard, and
+``pop`` returning ``None`` only after close-and-drain — plus two
+concurrency properties the barrier tests hammer: no task is ever lost
+or duplicated under contention, and bounded shards block producers
+instead of buffering unboundedly.
+"""
+
+import threading
+
+import pytest
+
+from repro.parallel import PartitionTask, ShardedFrontier
+
+
+class TestDiscipline:
+    def test_owner_pops_fifo(self):
+        frontier = ShardedFrontier(2)
+        for n in (1, 2, 3):
+            frontier.push(n, shard=0)
+        frontier.close()
+        assert [frontier.pop(0) for _ in range(3)] == [1, 2, 3]
+        assert frontier.pop(0) is None
+        assert frontier.steals == 0
+
+    def test_round_robin_default_deal(self):
+        frontier = ShardedFrontier(3)
+        for n in range(6):
+            frontier.push(n)
+        assert frontier.queue_lengths() == [2, 2, 2]
+
+    def test_steals_from_back_of_longest_shard(self):
+        frontier = ShardedFrontier(3)
+        for n in (10, 11, 12):
+            frontier.push(n, shard=1)  # longest
+        frontier.push(20, shard=2)
+        frontier.close()
+        # Shard 0 is empty: its owner steals the *back* of shard 1.
+        assert frontier.pop(0) == 12
+        assert frontier.steals == 1
+        # Shard 1's owner still sees its own front, untouched.
+        assert frontier.pop(1) == 10
+
+    def test_pop_none_only_after_close_and_drain(self):
+        frontier = ShardedFrontier(1)
+        frontier.push("a")
+        frontier.close()
+        assert frontier.pop(0) == "a"
+        assert frontier.pop(0) is None
+        assert frontier.closed
+
+    def test_push_after_close_rejected(self):
+        frontier = ShardedFrontier(1)
+        frontier.close()
+        with pytest.raises(ValueError):
+            frontier.push("late")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedFrontier(0)
+        with pytest.raises(ValueError):
+            ShardedFrontier(1, capacity=0)
+
+    def test_partition_task_is_hashable_value(self):
+        task = PartitionTask(3, ("u1", "u2"))
+        assert task == PartitionTask(3, ("u1", "u2"))
+        assert task.number == 3 and task.urls == ("u1", "u2")
+
+
+class TestBlockedPopWakesUp:
+    def test_pop_blocks_until_push_arrives(self):
+        frontier = ShardedFrontier(1)
+        got = []
+
+        def consume():
+            got.append(frontier.pop(0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        frontier.push("late-item")
+        frontier.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == ["late-item"]
+
+    def test_pop_blocks_until_close(self):
+        frontier = ShardedFrontier(2)
+        got = []
+
+        def consume():
+            got.append(frontier.pop(1))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        frontier.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == [None]
+
+
+class TestBoundedShards:
+    def test_push_blocks_at_capacity_until_pop(self):
+        frontier = ShardedFrontier(1, capacity=2)
+        frontier.push(1, shard=0)
+        frontier.push(2, shard=0)
+        unblocked = threading.Event()
+
+        def produce():
+            frontier.push(3, shard=0)  # must block: shard is full
+            unblocked.set()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        assert not unblocked.wait(timeout=0.2), "push did not respect capacity"
+        assert frontier.pop(0) == 1
+        assert unblocked.wait(timeout=5), "push never unblocked after a pop"
+        thread.join(timeout=5)
+        frontier.close()
+        assert frontier.pop(0) == 2
+        assert frontier.pop(0) == 3
+
+    def test_steal_also_unblocks_a_full_shard(self):
+        frontier = ShardedFrontier(2, capacity=1)
+        frontier.push("a", shard=0)
+        unblocked = threading.Event()
+
+        def produce():
+            frontier.push("b", shard=0)
+            unblocked.set()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        # The *other* worker steals shard 0's item, freeing capacity.
+        assert frontier.pop(1) == "a"
+        assert unblocked.wait(timeout=5)
+        thread.join(timeout=5)
+
+
+class TestConcurrencyBarrier:
+    """Barrier-style races: all workers released at once, exact accounting."""
+
+    def test_no_task_lost_or_duplicated(self):
+        workers, tasks = 4, 400
+        frontier = ShardedFrontier(workers, capacity=8)
+        barrier = threading.Barrier(workers + 1)
+        taken: list[list[int]] = [[] for _ in range(workers)]
+
+        def consume(worker_id):
+            barrier.wait()
+            while True:
+                item = frontier.pop(worker_id)
+                if item is None:
+                    return
+                taken[worker_id].append(item)
+
+        def produce():
+            barrier.wait()
+            try:
+                for n in range(tasks):
+                    frontier.push(n)
+            finally:
+                frontier.close()
+
+        threads = [
+            threading.Thread(target=consume, args=(i,)) for i in range(workers)
+        ] + [threading.Thread(target=produce)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "frontier deadlocked"
+        everything = [item for bucket in taken for item in bucket]
+        assert sorted(everything) == list(range(tasks))
+
+    def test_skewed_deal_is_rebalanced_by_stealing(self):
+        """Every task dealt to one shard; the other workers steal."""
+        workers, tasks = 4, 200
+        frontier = ShardedFrontier(workers)
+        for n in range(tasks):
+            frontier.push(n, shard=0)
+        frontier.close()
+        barrier = threading.Barrier(workers)
+        counts = [0] * workers
+
+        def consume(worker_id):
+            barrier.wait()
+            while frontier.pop(worker_id) is not None:
+                counts[worker_id] += 1
+
+        threads = [
+            threading.Thread(target=consume, args=(i,)) for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "frontier deadlocked"
+        assert sum(counts) == tasks
+        assert frontier.steals == sum(counts[1:])
+        assert frontier.steals > 0, "no worker ever stole from the hot shard"
