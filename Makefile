@@ -8,10 +8,10 @@ export PYTHONPATH
 
 .PHONY: check test test-fast coverage bench-faults bench-smoke bench \
 	trace-verify trace-regen profile-smoke testgen-smoke serve-smoke \
-	bench-serving bench-parallel
+	bench-serving bench-parallel bench-index
 
-check: test bench-faults bench-smoke trace-verify profile-smoke testgen-smoke \
-	serve-smoke
+check: test bench-faults bench-smoke bench-index trace-verify profile-smoke \
+	testgen-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +71,14 @@ bench-faults:
 # threshold (writes benchmarks/results/BENCH_hashing.json).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_perf_hashing.py -q --benchmark-disable
+
+# Segmented-index gate: mints a 100k-state corpus (REPRO_BENCH_INDEX_STATES
+# scales it), builds both index backends and enforces the >=5x on-disk
+# size floor, block-skipping decode floor and query-latency budgets
+# (writes benchmarks/results/BENCH_index.json).  The index_parity
+# differential check itself runs inside testgen-smoke.
+bench-index:
+	$(PYTHON) -m pytest benchmarks/bench_index.py -q --benchmark-disable
 
 # Generator-harness throughput gate (writes
 # benchmarks/results/BENCH_testgen.json).

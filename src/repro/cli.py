@@ -58,7 +58,8 @@ from repro.parallel import (
     load_models,
     save_models,
 )
-from repro.search import InvertedFile, SearchEngine
+from repro.search import InvertedFile, SearchEngine, SegmentedIndex
+from repro.search.segmented import DEFAULT_FLUSH_POSTINGS
 from repro.sites import SiteConfig, SyntheticWebmail, SyntheticYouTube
 
 
@@ -248,6 +249,16 @@ def cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def cmd_index(args: argparse.Namespace) -> int:
+    command = getattr(args, "index_command", None)
+    if command == "build":
+        return cmd_index_build(args)
+    if command == "compact":
+        return cmd_index_compact(args)
+    if command == "stats":
+        return cmd_index_stats(args)
+    # Legacy flat form: build the in-memory inverted file as JSON.
+    if not args.root or not args.out:
+        raise SystemExit("index needs --root and --out (or a build/compact/stats subcommand)")
     index = InvertedFile(max_state_index=args.max_state_index)
     partitions = URLPartitioner.list_partitions(args.root)
     models_seen = 0
@@ -262,8 +273,53 @@ def cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index_build(args: argparse.Namespace) -> int:
+    index = SegmentedIndex(
+        args.segments,
+        max_state_index=args.max_state_index,
+        flush_threshold=args.flush_postings,
+        block_size=args.block_size,
+    )
+    models_seen = 0
+    for directory in URLPartitioner.list_partitions(args.root):
+        for model in load_models(directory):
+            index.add_model(model)
+            models_seen += 1
+    index.finalize()
+    print(f"indexed {models_seen} page models / {index.num_states} states "
+          f"({index.vocabulary_size} terms) -> {index.num_segments} segment(s) "
+          f"under {args.segments}")
+    index.close()
+    return 0
+
+
+def cmd_index_compact(args: argparse.Namespace) -> int:
+    index = SegmentedIndex.open(args.segments)
+    before = index.num_segments
+    merges = index.compact_all()
+    print(f"compacted {before} segment(s) -> {index.num_segments} "
+          f"({merges} merge(s), {index.num_states} states)")
+    index.close()
+    return 0
+
+
+def cmd_index_stats(args: argparse.Namespace) -> int:
+    index = SegmentedIndex.open(args.segments)
+    print(json.dumps(index.stats(), sort_keys=True, indent=2))
+    index.close()
+    return 0
+
+
+def load_index(path: str):
+    """A query index from ``path``: a segmented index directory or the
+    legacy JSON inverted file."""
+    if Path(path).is_dir():
+        return SegmentedIndex.open(path)
+    return InvertedFile.load(path)
+
+
 def cmd_search(args: argparse.Namespace) -> int:
-    index = InvertedFile.load(args.index)
+    index = load_index(args.index)
     pageranks = {}
     if args.pagerank:
         pageranks = json.loads(Path(args.pagerank).read_text(encoding="utf-8"))
@@ -291,7 +347,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     models = None
     site = None
     if args.index:
-        engine = SearchEngine(InvertedFile.load(args.index))
+        engine = SearchEngine(load_index(args.index))
         print(f"loaded index {args.index}: {engine.index.num_states} states")
     else:
         site = build_site(args.site)
@@ -483,6 +539,22 @@ def cmd_testgen_conformance(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_testgen_corpus(args: argparse.Namespace) -> int:
+    from repro.testgen import corpus_models, corpus_spec
+
+    spec = corpus_spec(args.states, seed=args.seed, states_per_page=args.states_per_page)
+    if args.out:
+        spec.save(args.out)
+        print(f"spec saved to {args.out}")
+    models = corpus_models(spec)
+    total = sum(model.num_states for model in models)
+    print(
+        f"seed {spec.seed}: {len(spec.pages)} page(s), {total} states "
+        f"({args.states_per_page}/page), minted without crawling"
+    )
+    return 0
+
+
 def cmd_testgen_fuzz(args: argparse.Namespace) -> int:
     from repro.testgen import fuzz_corpus, shrink_case
 
@@ -584,14 +656,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crawl.set_defaults(fn=cmd_crawl)
 
-    index = sub.add_parser("index", help="build an inverted file from crawled models")
-    index.add_argument("--root", required=True)
-    index.add_argument("--out", required=True)
+    index = sub.add_parser(
+        "index",
+        help="build/inspect indexes (flat --root/--out = legacy JSON inverted file)",
+    )
+    index.add_argument("--root", default=None)
+    index.add_argument("--out", default=None)
     index.add_argument("--max-state-index", type=int, default=None)
     index.set_defaults(fn=cmd_index)
+    index_sub = index.add_subparsers(dest="index_command", required=False)
+    ix_build = index_sub.add_parser(
+        "build", help="build an on-disk segmented index from crawled models"
+    )
+    ix_build.add_argument("--root", required=True, help="crawl partitions root")
+    ix_build.add_argument("--segments", required=True, help="index directory to create")
+    ix_build.add_argument("--max-state-index", type=int, default=None)
+    ix_build.add_argument(
+        "--flush-postings", type=int, default=DEFAULT_FLUSH_POSTINGS, metavar="N",
+        help="memtable flush threshold in postings",
+    )
+    ix_build.add_argument("--block-size", type=int, default=128, metavar="N",
+                          help="postings per on-disk block (skip granularity)")
+    ix_compact = index_sub.add_parser(
+        "compact", help="merge every segment of an index directory into one"
+    )
+    ix_compact.add_argument("--segments", required=True, help="index directory")
+    ix_stats = index_sub.add_parser(
+        "stats", help="print a segmented index's inventory as JSON"
+    )
+    ix_stats.add_argument("--segments", required=True, help="index directory")
 
     search = sub.add_parser("search", help="query a saved inverted file")
-    search.add_argument("--index", required=True)
+    search.add_argument(
+        "--index", required=True,
+        help="JSON inverted file or segmented index directory",
+    )
     search.add_argument("--query", required=True)
     search.add_argument("--pagerank", default=None)
     search.add_argument("--limit", type=int, default=10)
@@ -728,6 +827,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="only print failures and the final tally"
     )
     tg_conformance.set_defaults(fn=cmd_testgen_conformance)
+    tg_corpus = testgen_sub.add_parser(
+        "corpus",
+        help="mint a large deterministic corpus (the benchmark scale knob)",
+    )
+    tg_corpus.add_argument("--states", type=int, required=True, help="corpus size in states")
+    tg_corpus.add_argument("--seed", type=int, default=0)
+    tg_corpus.add_argument("--states-per-page", type=int, default=5)
+    tg_corpus.add_argument("--out", default=None, help="write the spec JSON here")
+    tg_corpus.set_defaults(fn=cmd_testgen_corpus)
     tg_fuzz = testgen_sub.add_parser(
         "fuzz", help="crash-fuzz the JS and DOM pipelines"
     )

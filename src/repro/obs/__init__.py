@@ -15,6 +15,7 @@ golden-trace regression harness.
 """
 
 from repro.obs.events import (
+    COMPACTION,
     EVENT_KINDS,
     EVENT_FIRED,
     HASH_FULL,
@@ -23,6 +24,7 @@ from repro.obs.events import (
     HOTNODE_CACHE_MISS,
     INDEX_FLUSH,
     PAGE_FETCH,
+    SEGMENT_FLUSH,
     QUERY_EVAL,
     REQUEST_FAILED,
     RETRY,
@@ -94,6 +96,8 @@ __all__ = [
     "HASH_FULL",
     "HASH_INCREMENTAL",
     "INDEX_FLUSH",
+    "SEGMENT_FLUSH",
+    "COMPACTION",
     "QUERY_EVAL",
     "SERVE_REQUEST",
     "SPAN_START",

@@ -49,6 +49,10 @@ HASH_FULL = "hash_full"
 HASH_INCREMENTAL = "hash_incremental"
 #: The inverted file sorted/flushed its posting lists.
 INDEX_FLUSH = "index_flush"
+#: The segmented index froze a memtable into an on-disk segment.
+SEGMENT_FLUSH = "segment_flush"
+#: The segmented index merged a tier of segments into one (LSM).
+COMPACTION = "compaction"
 #: The search engine evaluated one query.
 QUERY_EVAL = "query_eval"
 #: The HTTP serving layer answered one request (endpoint, status,
@@ -76,6 +80,8 @@ EVENT_KINDS = (
     HASH_FULL,
     HASH_INCREMENTAL,
     INDEX_FLUSH,
+    SEGMENT_FLUSH,
+    COMPACTION,
     QUERY_EVAL,
     SERVE_REQUEST,
     SPAN_START,

@@ -2,14 +2,27 @@
 
 State-granular inverted file, boolean retrieval with conjunction merge,
 eq. 5.3 ranking (PageRank + AJAXRank + tf/idf + term proximity) and
-result aggregation by event replay.
+result aggregation by event replay.  Two interchangeable index
+backends: the in-memory :class:`InvertedFile` and the on-disk
+:class:`SegmentedIndex` (delta+varint posting blocks, block-max
+skipping, LSM compaction) — byte-identical query results.
 """
 
 from repro.search.aggregation import ResultAggregator
 from repro.search.engine import SearchEngine, SearchResult
 from repro.search.index import InvertedFile
+from repro.search.memtable import Memtable
 from repro.search.postings import Posting, merge_conjunction, sort_postings
 from repro.search.query import Match, evaluate
+from repro.search.segmented import SegmentedIndex
+from repro.search.segments import (
+    BLOCK_SIZE,
+    BlockCache,
+    MergeStats,
+    SegmentReader,
+    merge_conjunction_blocks,
+    write_segment,
+)
 from repro.search.ranking import (
     RankingWeights,
     ajaxrank,
@@ -27,6 +40,14 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "InvertedFile",
+    "SegmentedIndex",
+    "Memtable",
+    "SegmentReader",
+    "BlockCache",
+    "MergeStats",
+    "BLOCK_SIZE",
+    "write_segment",
+    "merge_conjunction_blocks",
     "Posting",
     "merge_conjunction",
     "sort_postings",

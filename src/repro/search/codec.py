@@ -1,0 +1,153 @@
+"""Varint / delta codecs for on-disk posting blocks (§5.2 at scale).
+
+Posting lists are persisted as *blocks* of up to
+:data:`~repro.search.segments.BLOCK_SIZE` postings, each block encoded
+with the two classic inverted-file tricks:
+
+* **LEB128 unsigned varints** — small integers (deltas, counts, term
+  frequencies) take one byte instead of a JSON-rendered decimal string;
+* **delta encoding** — both the state ordinals of consecutive postings
+  and the occurrence positions inside one posting are strictly
+  increasing, so only gaps are stored.
+
+Every decode path validates its input and raises
+:class:`~repro.errors.SearchError` on truncation or corruption — a
+damaged segment file must surface as a search-layer failure, never as a
+raw ``IndexError``/``struct`` traceback from the middle of a query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchError
+
+#: A varint longer than this encodes a value above 2^63 — nothing in a
+#: segment file is that large, so longer runs mean corruption.
+MAX_VARINT_BYTES = 10
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` to ``out`` as an LEB128 unsigned varint."""
+    if value < 0:
+        raise SearchError(f"cannot varint-encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data, offset: int) -> tuple[int, int]:
+    """Decode one varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``; raises :class:`SearchError` on a
+    truncated buffer or an over-long (corrupt) encoding.
+    """
+    value = 0
+    shift = 0
+    size = len(data)
+    for count in range(MAX_VARINT_BYTES):
+        if offset >= size:
+            raise SearchError("truncated varint in segment data")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+    raise SearchError("over-long varint in segment data (corrupt block)")
+
+
+def write_bytes(out: bytearray, payload: bytes) -> None:
+    """Append a length-prefixed byte string."""
+    write_uvarint(out, len(payload))
+    out.extend(payload)
+
+
+def read_bytes(data, offset: int) -> tuple[bytes, int]:
+    """Decode one length-prefixed byte string."""
+    length, offset = read_uvarint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise SearchError("truncated byte string in segment data")
+    return bytes(data[offset:end]), end
+
+
+def encode_block(ordinals: list[int], positions: list[tuple[int, ...]]) -> bytes:
+    """Encode one posting block.
+
+    ``ordinals`` are the segment state ordinals the postings refer to
+    (strictly increasing); ``positions[i]`` is posting *i*'s strictly
+    increasing occurrence positions.  Layout::
+
+        uvarint count
+        count x ( uvarint ordinal-delta   # first absolute
+                  uvarint num_positions   # always >= 1
+                  uvarint position-delta* # first absolute
+                )
+    """
+    if len(ordinals) != len(positions):
+        raise SearchError("ordinal/position arity mismatch in posting block")
+    out = bytearray()
+    write_uvarint(out, len(ordinals))
+    previous = 0
+    for index, ordinal in enumerate(ordinals):
+        delta = ordinal - previous if index else ordinal
+        if index and delta <= 0:
+            raise SearchError("posting ordinals must be strictly increasing")
+        write_uvarint(out, delta)
+        previous = ordinal
+        occurrence = positions[index]
+        if not occurrence:
+            raise SearchError("a posting must have at least one position")
+        write_uvarint(out, len(occurrence))
+        last = 0
+        for position_index, position in enumerate(occurrence):
+            gap = position - last if position_index else position
+            if position_index and gap <= 0:
+                raise SearchError("positions must be strictly increasing")
+            write_uvarint(out, gap)
+            last = position
+    return bytes(out)
+
+
+def decode_block(data) -> tuple[list[int], list[tuple[int, ...]]]:
+    """Decode one posting block back into ``(ordinals, positions)``.
+
+    Inverse of :func:`encode_block`.  Trailing bytes, empty postings and
+    truncated varints all raise :class:`SearchError`.
+    """
+    try:
+        count, offset = read_uvarint(data, 0)
+        ordinals: list[int] = []
+        positions: list[tuple[int, ...]] = []
+        ordinal = 0
+        for index in range(count):
+            delta, offset = read_uvarint(data, offset)
+            ordinal = delta if index == 0 else ordinal + delta
+            if index and delta == 0:
+                raise SearchError("zero ordinal delta (corrupt block)")
+            ordinals.append(ordinal)
+            num_positions, offset = read_uvarint(data, offset)
+            if num_positions == 0:
+                raise SearchError("posting with zero positions (corrupt block)")
+            occurrence = []
+            position = 0
+            for position_index in range(num_positions):
+                gap, offset = read_uvarint(data, offset)
+                if position_index and gap == 0:
+                    raise SearchError("zero position delta (corrupt block)")
+                position = gap if position_index == 0 else position + gap
+                occurrence.append(position)
+            positions.append(tuple(occurrence))
+    except SearchError:
+        raise
+    except Exception as error:  # pragma: no cover - defensive belt
+        raise SearchError(f"corrupt posting block: {error}") from error
+    if offset != len(data):
+        raise SearchError(
+            f"{len(data) - offset} trailing byte(s) after posting block"
+        )
+    return ordinals, positions

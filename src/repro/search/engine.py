@@ -60,12 +60,17 @@ class SearchEngine:
         weights: RankingWeights = RankingWeights(),
         max_state_index: Optional[int] = None,
         recorder=NULL_RECORDER,
+        index=None,
     ) -> "SearchEngine":
-        """Index models and precompute every page's AJAXRank."""
+        """Index models and precompute every page's AJAXRank.
+
+        ``index`` selects the backend (e.g. a ``SegmentedIndex``); the
+        default builds the in-memory :class:`InvertedFile`.
+        """
         models = list(models)
-        index = InvertedFile(max_state_index=max_state_index, recorder=recorder).build(
-            models
-        )
+        if index is None:
+            index = InvertedFile(max_state_index=max_state_index, recorder=recorder)
+        index.build(models)
         ajaxranks: dict[tuple[str, str], float] = {}
         for model in models:
             for state_id, rank in ajaxrank(model).items():

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+from bisect import bisect_left
 from pathlib import Path
 from typing import Iterable, Optional
 
@@ -86,14 +87,24 @@ class InvertedFile:
 
         Returns the number of states removed.
         """
-        keys = [key for key in self._state_lengths if key[0] == uri]
+        return self.remove_urls([uri])
+
+    def remove_urls(self, uris: Iterable[str]) -> int:
+        """Batched removal: every touched term's list is rebuilt once.
+
+        Removing *k* URIs one at a time rebuilds a shared term's posting
+        list *k* times; batching by the URI set filters each list in one
+        pass.  Returns the exact number of states removed.
+        """
+        uri_set = set(uris)
+        keys = [key for key in self._state_lengths if key[0] in uri_set]
         terms_touched: set[str] = set()
         for key in keys:
             del self._state_lengths[key]
             self._state_depths.pop(key, None)
             terms_touched.update(self._state_terms.pop(key, ()))
         for term in terms_touched:
-            remaining = [p for p in self._postings.get(term, []) if p.uri != uri]
+            remaining = [p for p in self._postings.get(term, []) if p.uri not in uri_set]
             if remaining:
                 self._postings[term] = remaining
             else:
@@ -157,6 +168,10 @@ class InvertedFile:
     def vocabulary_size(self) -> int:
         return len(self._postings)
 
+    def terms(self) -> set[str]:
+        """The vocabulary (for differential checks against backends)."""
+        return set(self._postings)
+
     def state_length(self, uri: str, state_id: str) -> int:
         """Token count of one state (tf denominator, eq. 5.1)."""
         return self._state_lengths.get((uri, state_id), 0)
@@ -171,13 +186,24 @@ class InvertedFile:
     # -- statistics (eq. 5.1 / 5.2) ---------------------------------------------------
 
     def tf(self, term: str, uri: str, state_id: str) -> float:
-        """Term frequency of ``term`` in one state (eq. 5.1)."""
+        """Term frequency of ``term`` in one state (eq. 5.1).
+
+        Binary search over the finalized sort-key order — scoring one
+        state is O(log df), not a scan of the whole posting list.
+        """
         length = self.state_length(uri, state_id)
         if length == 0:
             return 0.0
-        for posting in self._postings.get(term, []):
-            if posting.uri == uri and posting.state_id == state_id:
-                return posting.count / length
+        # finalize() replaces posting lists with sorted copies, so the
+        # list must be fetched *after* it runs.
+        self.finalize()
+        plist = self._postings.get(term)
+        if not plist:
+            return 0.0
+        target = (uri, int(state_id[1:]))
+        at = bisect_left(plist, target, key=lambda posting: posting.sort_key)
+        if at < len(plist) and plist[at].uri == uri and plist[at].state_id == state_id:
+            return plist[at].count / length
         return 0.0
 
     def idf(self, term: str) -> float:

@@ -1,0 +1,124 @@
+"""The in-memory write buffer of the segmented index (LSM memtable).
+
+A :class:`Memtable` accumulates freshly indexed states exactly the way
+the historical in-memory :class:`~repro.search.index.InvertedFile` did —
+tokenize, group occurrences per term, record per-state statistics — but
+it is *bounded*: once :attr:`num_postings` crosses the flush threshold
+the owning :class:`~repro.search.segmented.SegmentedIndex` freezes it
+into an immutable on-disk segment and starts a fresh one.
+
+Every state carries a monotonically increasing *sequence number*
+assigned by the owner, so the global ``states()`` registry preserves
+insertion order across any number of segment files (and across
+remove/re-add cycles, mirroring dict-insertion semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SearchError
+from repro.model import ApplicationModel
+from repro.search.postings import Posting, sort_postings
+from repro.search.tokenizer import tokenize_with_positions
+
+
+class Memtable:
+    """Mutable accumulation buffer; flushed to a segment when full."""
+
+    def __init__(
+        self,
+        max_state_index: Optional[int] = None,
+        stopwords: Optional[frozenset[str]] = None,
+    ) -> None:
+        self.max_state_index = max_state_index
+        self.stopwords = stopwords
+        self._postings: dict[str, list[Posting]] = {}
+        #: (uri, state_id) -> (token count, depth, sequence number).
+        self._states: dict[tuple[str, str], tuple[int, int, int]] = {}
+        #: (uri, state_id) -> terms it contains (for removal).
+        self._state_terms: dict[tuple[str, str], tuple[str, ...]] = {}
+        self.num_postings = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def add_model(self, model: ApplicationModel, next_seq) -> None:
+        """Buffer (a prefix of) one application model.
+
+        ``next_seq`` is a callable handing out the owner's global state
+        sequence numbers.
+        """
+        for state in model.states():
+            if self.max_state_index is not None and state.index >= self.max_state_index:
+                continue
+            self.add_state(model.url, state.state_id, state.text, state.depth, next_seq())
+
+    def add_state(self, uri: str, state_id: str, text: str, depth: int, seq: int) -> None:
+        key = (uri, state_id)
+        if key in self._states:
+            raise SearchError(f"state {key} indexed twice")
+        tokens = tokenize_with_positions(text, stopwords=self.stopwords)
+        self._states[key] = (len(tokens), depth, seq)
+        by_term: dict[str, list[int]] = {}
+        for token, position in tokens:
+            by_term.setdefault(token, []).append(position)
+        for term, positions in by_term.items():
+            self._postings.setdefault(term, []).append(
+                Posting(uri=uri, state_id=state_id, positions=tuple(positions))
+            )
+        self._state_terms[key] = tuple(by_term)
+        self.num_postings += len(by_term)
+
+    def remove_urls(self, uris) -> int:
+        """Drop every buffered state of the given URIs; returns the count."""
+        uri_set = set(uris)
+        keys = [key for key in self._states if key[0] in uri_set]
+        terms_touched: set[str] = set()
+        for key in keys:
+            del self._states[key]
+            terms_touched.update(self._state_terms.pop(key, ()))
+        for term in terms_touched:
+            remaining = [p for p in self._postings.get(term, []) if p.uri not in uri_set]
+            self.num_postings -= len(self._postings.get(term, ())) - len(remaining)
+            if remaining:
+                self._postings[term] = remaining
+            else:
+                self._postings.pop(term, None)
+        return len(keys)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    def __bool__(self) -> bool:
+        return bool(self._states)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._states
+
+    def terms(self):
+        return self._postings.keys()
+
+    def uris(self) -> set[str]:
+        return {uri for uri, _ in self._states}
+
+    def state_stat(self, key: tuple[str, str]) -> Optional[tuple[int, int, int]]:
+        """``(length, depth, seq)`` of one buffered state, if present."""
+        return self._states.get(key)
+
+    def state_rows(self) -> list[tuple[str, str, int, int, int]]:
+        """``(uri, state_id, length, depth, seq)`` for every buffered state."""
+        return [
+            (uri, state_id, length, depth, seq)
+            for (uri, state_id), (length, depth, seq) in self._states.items()
+        ]
+
+    def sorted_postings(self) -> list[tuple[str, list[Posting]]]:
+        """``(term, canonical-order postings)`` sorted by term — the
+        segment writer's input stream."""
+        return [
+            (term, sort_postings(self._postings[term]))
+            for term in sorted(self._postings)
+        ]

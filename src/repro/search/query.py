@@ -26,12 +26,23 @@ class Match:
 
 
 def evaluate(index: InvertedFile, query: str) -> list[Match]:
-    """All states containing every term of ``query`` (Figure 5.2)."""
+    """All states containing every term of ``query`` (Figure 5.2).
+
+    Indexes that expose a ``conjunction`` method (the segmented on-disk
+    index) intersect their posting lists themselves — block-max skipping
+    needs the un-materialized block structure; the in-memory inverted
+    file goes through the posting-level galloping merge.  Both return
+    identical groups in canonical order.
+    """
     terms = query_terms(query, stopwords=index.stopwords)
     if not terms:
         raise SearchError("empty query")
-    lists = [index.postings(term) for term in terms]
-    groups = merge_conjunction(lists)
+    conjunction = getattr(index, "conjunction", None)
+    if conjunction is not None:
+        groups = conjunction(terms)
+    else:
+        lists = [index.postings(term) for term in terms]
+        groups = merge_conjunction(lists)
     return [
         Match(uri=group[0].uri, state_id=group[0].state_id, postings=tuple(group))
         for group in groups

@@ -1,0 +1,555 @@
+"""LSM-style segmented index behind the :class:`InvertedFile` query API.
+
+A :class:`SegmentedIndex` is a *directory*: a ``MANIFEST.json`` naming
+the live segment files in chronological order, plus one immutable
+``seg-*.seg`` file per flushed memtable (see
+:mod:`repro.search.segments` for the file format).  Writes buffer in a
+:class:`~repro.search.memtable.Memtable` and freeze into a new segment
+once the buffer crosses ``flush_threshold`` postings; a size-tiered
+compactor then merges segments of similar size so the segment count
+stays logarithmic in index size.
+
+The facade keeps the exact :class:`~repro.search.index.InvertedFile`
+query contract — ``postings``/``tf``/``idf``/``state_length``/
+``states``/``update_model`` — so :class:`~repro.search.engine.SearchEngine`,
+``repro.serve`` and the aggregation tier plug in unchanged, and the
+``index_parity`` conformance check holds the results byte-identical.
+
+Two invariants make the multi-segment query path exact:
+
+* **state co-location** — flushes happen only between models, so every
+  posting of a given ``(uri, state)`` lives in one segment.  A boolean
+  conjunction can therefore run per segment (over compact int ordinals,
+  with block skipping) and concatenate: no cross-segment merge state.
+* **exact global df** — each segment's term table stores its exact
+  document frequency; the global df is their sum, re-derived (not
+  approximated) whenever compaction rewrites segments, so ``idf`` is
+  bit-identical to the in-memory index (the ch. 6 query-shipping
+  contract: per-partition indexes, global-idf correction at merge).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.errors import SearchError
+from repro.model import ApplicationModel
+from repro.obs import COMPACTION, NULL_RECORDER, SEGMENT_FLUSH
+from repro.search.memtable import Memtable
+from repro.search.postings import Posting, sort_postings
+from repro.search.segments import (
+    BLOCK_SIZE,
+    BlockCache,
+    MergeStats,
+    SegmentReader,
+    merge_conjunction_blocks,
+    write_segment,
+)
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+#: Default memtable flush threshold, in postings.
+DEFAULT_FLUSH_POSTINGS = 200_000
+
+#: Segments per size tier before that tier is compacted.
+DEFAULT_COMPACT_FANIN = 4
+
+
+def _tier(num_postings: int) -> int:
+    """Size tier of a segment: tiers grow by ~4x postings."""
+    return max(0, num_postings.bit_length() - 1) // 2
+
+
+class SegmentedIndex:
+    """Directory-backed inverted file: memtable + immutable segments."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_state_index: Optional[int] = None,
+        stopwords: Optional[frozenset[str]] = None,
+        recorder=NULL_RECORDER,
+        metrics=None,
+        flush_threshold: int = DEFAULT_FLUSH_POSTINGS,
+        block_size: int = BLOCK_SIZE,
+        cache_blocks: int = 1024,
+        compact_fanin: int = DEFAULT_COMPACT_FANIN,
+    ) -> None:
+        self.path = Path(path)
+        self.recorder = recorder
+        self.metrics = metrics
+        self.flush_threshold = max(1, flush_threshold)
+        self.compact_fanin = max(2, compact_fanin)
+        self.cache = BlockCache(capacity=cache_blocks)
+        #: Cumulative block-skipping accounting across all conjunctions.
+        self.merge_stats = MergeStats()
+        self._lock = threading.Lock()
+        self._readers: list[SegmentReader] = []
+        self._lookup: Optional[dict[tuple[str, str], tuple[SegmentReader, int]]] = None
+
+        self.path.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.path / MANIFEST_NAME
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except ValueError as error:
+                raise SearchError(f"corrupt index manifest {manifest_path}") from error
+            if manifest.get("version") != MANIFEST_VERSION:
+                raise SearchError(
+                    f"unsupported index manifest version {manifest.get('version')!r}"
+                )
+            self.max_state_index = manifest.get("max_state_index")
+            words = manifest.get("stopwords")
+            self.stopwords = frozenset(words) if words else None
+            self.block_size = int(manifest.get("block_size", block_size))
+            self._next_seq = int(manifest["next_seq"])
+            self._next_segment_id = int(manifest["next_segment_id"])
+            for name in manifest["segments"]:
+                self._readers.append(SegmentReader(self.path / name, cache=self.cache))
+        else:
+            self.max_state_index = max_state_index
+            self.stopwords = stopwords
+            self.block_size = block_size
+            self._next_seq = 0
+            self._next_segment_id = 0
+            self._save_manifest()
+        self._memtable = Memtable(
+            max_state_index=self.max_state_index, stopwords=self.stopwords
+        )
+
+    @classmethod
+    def open(cls, path: str | Path, **kwargs) -> "SegmentedIndex":
+        """Open an existing segmented index directory."""
+        path = Path(path)
+        if not (path / MANIFEST_NAME).exists():
+            raise SearchError(f"{path} is not a segmented index (no {MANIFEST_NAME})")
+        return cls(path, **kwargs)
+
+    def close(self) -> None:
+        for reader in self._readers:
+            reader.close()
+        self._readers = []
+        self._lookup = None
+
+    # -- persistence -------------------------------------------------------------
+
+    def _save_manifest(self) -> None:
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "segments": [reader.name for reader in self._readers],
+            "next_seq": self._next_seq,
+            "next_segment_id": self._next_segment_id,
+            "max_state_index": self.max_state_index,
+            "stopwords": sorted(self.stopwords) if self.stopwords else None,
+            "block_size": self.block_size,
+        }
+        target = self.path / MANIFEST_NAME
+        scratch = target.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps(manifest, sort_keys=True), encoding="utf-8")
+        os.replace(scratch, target)
+
+    def _segment_path(self) -> Path:
+        path = self.path / f"seg-{self._next_segment_id:08d}.seg"
+        self._next_segment_id += 1
+        return path
+
+    # -- construction ------------------------------------------------------------
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def add_model(self, model: ApplicationModel) -> None:
+        """Buffer one application model; flush if the memtable is full."""
+        # The memtable rejects duplicates it holds itself; states already
+        # frozen into segments need an explicit registry check to keep
+        # the InvertedFile "indexed twice" contract.
+        if self._readers:
+            lookup = self._ensure_lookup()
+            for state in model.states():
+                if self.max_state_index is not None and state.index >= self.max_state_index:
+                    continue
+                key = (model.url, state.state_id)
+                if key in lookup:
+                    raise SearchError(f"state {key} indexed twice")
+        self._memtable.add_model(model, self._take_seq)
+        if self._memtable.num_postings >= self.flush_threshold:
+            self.flush()
+
+    def build(self, models: Iterable[ApplicationModel]) -> "SegmentedIndex":
+        """Index many models and finalize; returns self for chaining."""
+        for model in models:
+            self.add_model(model)
+        self.finalize()
+        return self
+
+    def update_model(self, model: ApplicationModel) -> None:
+        """Replace ``model.url``'s states with the model's current ones."""
+        self.remove_url(model.url)
+        self.add_model(model)
+        self.finalize()
+
+    def finalize(self) -> None:
+        """Flush any buffered states so the query path sees everything.
+
+        Idempotent and cheap when nothing is buffered — mirrors
+        :meth:`InvertedFile.finalize`, which the engine calls eagerly.
+        """
+        if self._memtable:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new immutable segment (+ compact)."""
+        with self._lock:
+            if not self._memtable:
+                return
+            with self.recorder.span("segment_flush"):
+                stats = write_segment(
+                    self._segment_path(),
+                    self._memtable.state_rows(),
+                    self._memtable.sorted_postings(),
+                    block_size=self.block_size,
+                )
+                self._readers.append(SegmentReader(stats.path, cache=self.cache))
+                self._memtable = Memtable(
+                    max_state_index=self.max_state_index, stopwords=self.stopwords
+                )
+                self._lookup = None
+                self._save_manifest()
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        SEGMENT_FLUSH,
+                        segment=stats.path.name,
+                        num_states=stats.num_states,
+                        num_postings=stats.num_postings,
+                        num_terms=stats.num_terms,
+                        num_bytes=stats.num_bytes,
+                    )
+                if self.metrics is not None:
+                    self.metrics.inc("index.segment_flushes")
+                    self.metrics.inc("index.flushed_postings", stats.num_postings)
+                    self.metrics.set_gauge("index.live_segments", len(self._readers))
+        self.maybe_compact()
+
+    # -- compaction --------------------------------------------------------------
+
+    def maybe_compact(self) -> int:
+        """Run size-tiered compaction until no tier is over-full.
+
+        Returns the number of merges performed.  A tier holds segments
+        whose posting counts fall in the same ~4x size band; once a tier
+        accumulates ``compact_fanin`` members they merge into one
+        (larger-tier) segment, so lookups touch O(log n) segments.
+        """
+        merges = 0
+        while True:
+            tiers: dict[int, list[SegmentReader]] = {}
+            for reader in self._readers:
+                tiers.setdefault(_tier(reader.num_postings), []).append(reader)
+            crowded = [
+                members for members in tiers.values() if len(members) >= self.compact_fanin
+            ]
+            if not crowded:
+                return merges
+            # Merge the smallest crowded tier first: cheapest, and its
+            # output may cascade into the next tier's merge.
+            victims = min(crowded, key=lambda members: members[0].num_postings)
+            self._merge(victims)
+            merges += 1
+
+    def compact_all(self) -> int:
+        """Merge every segment into one (full compaction); returns merges."""
+        self.finalize()
+        if len(self._readers) < 2:
+            return 0
+        self._merge(list(self._readers))
+        return 1
+
+    def _merge(self, victims: list[SegmentReader]) -> None:
+        """Merge ``victims`` into one new segment, re-deriving exact df."""
+        with self._lock:
+            with self.recorder.span("compaction"):
+                states: list[tuple[str, str, int, int, int]] = []
+                terms: set[str] = set()
+                for reader in victims:
+                    states.extend(reader.state_rows())
+                    terms.update(reader.terms())
+
+                def merged_postings():
+                    for term in sorted(terms):
+                        postings: list[Posting] = []
+                        for reader in victims:
+                            postings.extend(reader.materialize(term))
+                        # len(postings) is the term's exact merged df —
+                        # the segment writer persists it in the term
+                        # table, so global idf stays exact after merge.
+                        yield term, sort_postings(postings)
+
+                stats = write_segment(
+                    self._segment_path(), states, merged_postings(),
+                    block_size=self.block_size,
+                )
+                merged = SegmentReader(stats.path, cache=self.cache)
+                position = min(self._readers.index(reader) for reader in victims)
+                survivors = [r for r in self._readers if r not in victims]
+                survivors.insert(position, merged)
+                self._readers = survivors
+                self._lookup = None
+                self._save_manifest()
+                for reader in victims:
+                    reader.close()
+                    reader.path.unlink(missing_ok=True)
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        COMPACTION,
+                        segment=stats.path.name,
+                        merged=len(victims),
+                        num_states=stats.num_states,
+                        num_postings=stats.num_postings,
+                        num_bytes=stats.num_bytes,
+                    )
+                if self.metrics is not None:
+                    self.metrics.inc("index.compactions")
+                    self.metrics.inc("index.segments_merged", len(victims))
+                    self.metrics.set_gauge("index.live_segments", len(self._readers))
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def remove_url(self, uri: str) -> int:
+        """Drop every state of ``uri``; returns the number removed."""
+        return self.remove_urls([uri])
+
+    def remove_urls(self, uris: Iterable[str]) -> int:
+        """Batched removal: every touched segment is rewritten once.
+
+        Segments are immutable, so removal rewrites each segment that
+        holds any of the URIs (minus their states) — no tombstones, so
+        df and idf stay exact without a merge-time reconciliation pass.
+        """
+        uri_set = set(uris)
+        removed = self._memtable.remove_urls(uri_set)
+        with self._lock:
+            touched = [
+                reader
+                for reader in self._readers
+                if any(reader.has_uri(uri) for uri in uri_set)
+            ]
+            for reader in touched:
+                rows = [row for row in reader.state_rows() if row[0] not in uri_set]
+                removed += reader.num_states - len(rows)
+                position = self._readers.index(reader)
+                replacement = None
+                if rows:
+
+                    def kept_postings():
+                        for term in reader.terms():
+                            postings = [
+                                posting
+                                for posting in reader.materialize(term)
+                                if posting.uri not in uri_set
+                            ]
+                            if postings:
+                                yield term, postings
+
+                    stats = write_segment(
+                        self._segment_path(), rows, kept_postings(),
+                        block_size=self.block_size,
+                    )
+                    replacement = SegmentReader(stats.path, cache=self.cache)
+                self._readers.pop(position)
+                if replacement is not None:
+                    self._readers.insert(position, replacement)
+                reader.close()
+                reader.path.unlink(missing_ok=True)
+            if touched:
+                self._lookup = None
+                self._save_manifest()
+                if self.metrics is not None:
+                    self.metrics.inc("index.segment_rewrites", len(touched))
+                    self.metrics.set_gauge("index.live_segments", len(self._readers))
+        return removed
+
+    # -- lookups -----------------------------------------------------------------
+
+    def _ensure_lookup(self) -> dict[tuple[str, str], tuple[SegmentReader, int]]:
+        lookup = self._lookup
+        if lookup is None:
+            lookup = {}
+            for reader in self._readers:
+                for ordinal in range(reader.num_states):
+                    lookup[reader.state_key(ordinal)] = (reader, ordinal)
+            self._lookup = lookup
+        return lookup
+
+    def postings(self, term: str) -> list[Posting]:
+        """The globally sorted posting list of ``term`` (empty if absent)."""
+        self.finalize()
+        postings: list[Posting] = []
+        for reader in self._readers:
+            postings.extend(reader.materialize(term))
+        return sort_postings(postings)
+
+    def document_frequency(self, term: str) -> int:
+        """Exact global df: the sum of per-segment term-table dfs."""
+        self.finalize()
+        return sum(reader.df(term) for reader in self._readers)
+
+    @property
+    def num_states(self) -> int:
+        return self._memtable.num_states + sum(
+            reader.num_states for reader in self._readers
+        )
+
+    @property
+    def num_postings(self) -> int:
+        return self._memtable.num_postings + sum(
+            reader.num_postings for reader in self._readers
+        )
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._readers)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.terms())
+
+    def terms(self) -> set[str]:
+        self.finalize()
+        terms: set[str] = set()
+        for reader in self._readers:
+            terms.update(reader.terms())
+        return terms
+
+    def state_length(self, uri: str, state_id: str) -> int:
+        self.finalize()
+        entry = self._ensure_lookup().get((uri, state_id))
+        if entry is None:
+            return 0
+        reader, ordinal = entry
+        return reader.state_length(ordinal)
+
+    def state_depth(self, uri: str, state_id: str) -> int:
+        self.finalize()
+        entry = self._ensure_lookup().get((uri, state_id))
+        if entry is None:
+            return 0
+        reader, ordinal = entry
+        return reader.state_depth(ordinal)
+
+    def states(self) -> list[tuple[str, str]]:
+        """All indexed (uri, state_id) pairs in global insertion order.
+
+        Each state's persisted sequence number reproduces the
+        dict-insertion order of :class:`InvertedFile` exactly, including
+        remove + re-add moving a URI's states to the end.
+        """
+        self.finalize()
+        keyed: list[tuple[int, tuple[str, str]]] = []
+        for reader in self._readers:
+            for ordinal in range(reader.num_states):
+                keyed.append((reader.state_seq(ordinal), reader.state_key(ordinal)))
+        keyed.sort()
+        return [key for _, key in keyed]
+
+    # -- statistics (eq. 5.1 / 5.2) ----------------------------------------------
+
+    def tf(self, term: str, uri: str, state_id: str) -> float:
+        """Term frequency in one state — decodes at most one block."""
+        self.finalize()
+        entry = self._ensure_lookup().get((uri, state_id))
+        if entry is None:
+            return 0.0
+        reader, ordinal = entry
+        length = reader.state_length(ordinal)
+        if length == 0:
+            return 0.0
+        view = reader.view(term)
+        if view is None:
+            return 0.0
+        count = view.count_at(ordinal)
+        if count == 0:
+            return 0.0
+        return count / length
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency over exact global counts (eq. 5.2)."""
+        df = self.document_frequency(term)
+        num_states = self.num_states
+        if df == 0 or num_states == 0:
+            return 0.0
+        return math.log(num_states / df)
+
+    # -- query path --------------------------------------------------------------
+
+    def conjunction(self, terms: list[str]) -> list[list[Posting]]:
+        """Intersect the terms' posting lists with block-max skipping.
+
+        Returns one group of per-term postings per matching state, in
+        global canonical order — exactly what
+        :func:`~repro.search.postings.merge_conjunction` yields on the
+        materialized lists.  State co-location lets each segment run its
+        own ordinal-level merge; results concatenate and sort.
+        """
+        self.finalize()
+        if not terms:
+            return []
+        stats = MergeStats()
+        groups: list[list[Posting]] = []
+        for reader in self._readers:
+            views = [reader.view(term) for term in terms]
+            if any(view is None for view in views):
+                continue
+            for ordinal, occurrences in merge_conjunction_blocks(views, stats):
+                groups.append(
+                    [reader.posting(ordinal, positions) for positions in occurrences]
+                )
+        groups.sort(key=lambda group: group[0].sort_key)
+        self.merge_stats.merge(stats)
+        if self.metrics is not None:
+            self.metrics.inc("index.blocks_decoded", stats.blocks_decoded)
+            self.metrics.inc("index.blocks_skipped", stats.blocks_skipped)
+            self.metrics.inc("index.postings_decoded", stats.postings_decoded)
+        return groups
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Inventory of the index directory (for ``index stats``)."""
+        self.finalize()
+        segments = [
+            {
+                "name": reader.name,
+                "num_states": reader.num_states,
+                "num_postings": reader.num_postings,
+                "num_terms": reader.num_terms,
+                "num_bytes": reader.path.stat().st_size,
+            }
+            for reader in self._readers
+        ]
+        return {
+            "path": str(self.path),
+            "num_segments": len(segments),
+            "num_states": self.num_states,
+            "num_postings": self.num_postings,
+            "vocabulary": self.vocabulary_size,
+            "num_bytes": sum(segment["num_bytes"] for segment in segments),
+            "block_size": self.block_size,
+            "max_state_index": self.max_state_index,
+            "segments": segments,
+            "cache": {
+                "capacity": self.cache.capacity,
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+            },
+            "merge": self.merge_stats.to_dict(),
+        }

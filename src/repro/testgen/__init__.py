@@ -19,6 +19,12 @@ from repro.testgen.conformance import (
     run_corpus,
     spec_for_seed,
 )
+from repro.testgen.corpus import (
+    CORPUS_STATES_PER_PAGE,
+    corpus_models,
+    corpus_spec,
+    state_text,
+)
 from repro.testgen.fuzz import (
     CrashReport,
     FuzzCase,
@@ -46,9 +52,13 @@ __all__ = [
     "SiteSpec",
     "TransitionSpec",
     "WORD_CORPUS",
+    "CORPUS_STATES_PER_PAGE",
     "build_site",
     "conformance_config",
+    "corpus_models",
+    "corpus_spec",
     "crawl_generated",
+    "state_text",
     "fuzz_corpus",
     "generate_case",
     "generate_page",

@@ -21,6 +21,11 @@ ground truth, or against another crawler variant that must agree:
 * ``search_consistency`` — an index built over the crawled models
   answers every per-state marker query with exactly that state, and
   corpus-word result counts match the spec's term placement.
+* ``index_parity`` — the on-disk ``SegmentedIndex`` (delta+varint
+  posting blocks, block-max skipping, LSM compaction) vs the in-memory
+  ``InvertedFile`` over the same crawled models: byte-identical state
+  registries, postings, tf/idf statistics and search results — before
+  and after incremental update + full compaction.
 
 Checks never raise on conformance violations: each returns a
 :class:`CheckResult` whose failures pinpoint seed + page + quantity, so
@@ -29,6 +34,7 @@ a 50-seed corpus run reports every divergence at once.
 
 from __future__ import annotations
 
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
 from math import isclose
@@ -38,7 +44,7 @@ from repro.clock import CostModel, SimClock
 from repro.crawler import AjaxCrawler, CrawlerConfig
 from repro.model import ApplicationModel
 from repro.parallel import MPAjaxCrawler, SimpleAjaxCrawler
-from repro.search import SearchEngine
+from repro.search import InvertedFile, SearchEngine, SegmentedIndex
 from repro.testgen.generator import generate_site
 from repro.testgen.site import GeneratedSite
 from repro.testgen.spec import PageSpec, SiteSpec
@@ -51,6 +57,7 @@ CHECK_NAMES = (
     "parallel_parity",
     "backend_parity",
     "search_consistency",
+    "index_parity",
 )
 
 
@@ -565,6 +572,133 @@ def check_search_consistency(spec: SiteSpec) -> CheckResult:
     return result
 
 
+def _compare_indexes(
+    result: CheckResult, memory: InvertedFile, disk: SegmentedIndex, label: str
+) -> None:
+    """Assert the two backends are observationally identical."""
+    result.expect(
+        disk.states() == memory.states(),
+        f"{label}: state registries diverge "
+        f"({disk.num_states} vs {memory.num_states} states)",
+    )
+    result.expect(
+        disk.terms() == memory.terms(),
+        f"{label}: vocabularies diverge "
+        f"({disk.vocabulary_size} vs {memory.vocabulary_size} terms)",
+    )
+    for term in sorted(memory.terms()):
+        result.expect(
+            disk.postings(term) == memory.postings(term),
+            f"{label}: postings of {term!r} diverge",
+        )
+        result.expect(
+            disk.document_frequency(term) == memory.document_frequency(term),
+            f"{label}: df of {term!r} diverges",
+        )
+        result.expect(
+            disk.idf(term) == memory.idf(term),
+            f"{label}: idf of {term!r} diverges "
+            f"({disk.idf(term)!r} vs {memory.idf(term)!r})",
+        )
+    for uri, state_id in memory.states():
+        result.expect(
+            disk.state_length(uri, state_id) == memory.state_length(uri, state_id),
+            f"{label}: length of ({uri}, {state_id}) diverges",
+        )
+        result.expect(
+            disk.state_depth(uri, state_id) == memory.state_depth(uri, state_id),
+            f"{label}: depth of ({uri}, {state_id}) diverges",
+        )
+
+
+def check_index_parity(spec: SiteSpec) -> CheckResult:
+    """On-disk segmented index == in-memory inverted file, bit for bit.
+
+    The segmented index is built with a tiny flush threshold and block
+    size so even small specs exercise multiple segments, multiple
+    blocks per term, and the block-skipping conjunction; queries, tf/idf
+    statistics and state registries must still be byte-identical to the
+    in-memory index — including after an incremental ``update_model``
+    and a full compaction.
+    """
+    result = CheckResult("index_parity")
+    _, crawl = crawl_generated(spec)
+    if not crawl.models:
+        result.expect(False, "no models crawled")
+        return result
+    memory = InvertedFile().build(crawl.models)
+    with tempfile.TemporaryDirectory(prefix="index-parity-") as scratch:
+        disk = SegmentedIndex(
+            f"{scratch}/segments", flush_threshold=16, block_size=4
+        ).build(crawl.models)
+        # Flushes are model-granular, so a single-page spec can only
+        # ever yield one segment; multi-page specs must split.
+        result.expect(
+            disk.num_segments > 1 or len(crawl.models) < 2,
+            f"flush threshold produced only {disk.num_segments} segment(s) "
+            f"for {len(crawl.models)} models; multi-segment path unexercised",
+        )
+        _compare_indexes(result, memory, disk, "fresh build")
+        for uri, state_id in memory.states():
+            for term in _state_query_terms(spec, uri, state_id):
+                result.expect(
+                    disk.tf(term, uri, state_id) == memory.tf(term, uri, state_id),
+                    f"tf({term!r}, {uri}, {state_id}) diverges",
+                )
+        memory_engine = SearchEngine.build(crawl.models)
+        disk_engine = SearchEngine.build(
+            crawl.models,
+            index=SegmentedIndex(
+                f"{scratch}/engine-segments", flush_threshold=16, block_size=4
+            ),
+        )
+        queries = ["area", "visit", "area state"]
+        queries.extend(marker for page in spec.pages for marker in page.markers)
+        queries.extend(
+            word for page in spec.pages for words in page.words for word in words
+        )
+        for query in sorted(set(queries)):
+            memory_hits = memory_engine.search(query)
+            disk_hits = disk_engine.search(query)
+            result.expect(
+                memory_hits == disk_hits
+                and [hit.components for hit in memory_hits]
+                == [hit.components for hit in disk_hits],
+                f"query {query!r}: results diverge between index backends",
+            )
+        # Incremental maintenance + compaction must preserve parity.
+        touched = crawl.models[0]
+        memory.update_model(touched)
+        disk.update_model(touched)
+        _compare_indexes(result, memory, disk, "after update_model")
+        disk.compact_all()
+        result.expect(
+            disk.num_segments <= 1, f"{disk.num_segments} segments after compact_all"
+        )
+        _compare_indexes(result, memory, disk, "after compaction")
+        # Reopening from the manifest sees the same index.
+        reopened = SegmentedIndex.open(disk.path)
+        result.expect(
+            reopened.states() == memory.states(),
+            "reopened index lost or reordered states",
+        )
+        reopened.close()
+        disk.close()
+    return result
+
+
+def _state_query_terms(spec: SiteSpec, uri: str, state_id: str) -> list[str]:
+    """A few representative terms to probe tf parity with (shared words
+    with high df plus the state's page markers with df == 1)."""
+    terms = ["area", "state", "visit", "absent"]
+    for page in spec.pages:
+        if spec.page_url(page.page_id) == uri:
+            terms.extend(page.markers[:2])
+            if page.words:
+                terms.extend(page.words[0][:2])
+    return terms
+
+
 # -- harness entry points ----------------------------------------------------------
 
 
@@ -580,6 +714,7 @@ def run_conformance(
         "parallel_parity": check_parallel_parity,
         "backend_parity": check_backend_parity,
         "search_consistency": check_search_consistency,
+        "index_parity": check_index_parity,
     }
     report = ConformanceReport(spec=spec)
     for name in checks:

@@ -1,0 +1,111 @@
+"""Deterministic large-corpus minting for index benchmarks.
+
+The index benchmark needs a 100k-state corpus; *crawling* one through
+the simulated browser takes tens of minutes, which is useless inside
+``make check``.  But the indexable artifact of a crawl is just the
+per-state text — and the generator's ground truth already determines it
+exactly.  So this module synthesizes the :class:`ApplicationModel`s a
+conformance crawl would produce **directly from the spec**: same state
+order (BFS from state 0), same rendered text (heading, marker+words
+paragraph, nav links), same depths, no crawler in the loop.  Minting is
+pure arithmetic over ``generate_site``'s RNG stream, so any scale knob
+value yields the same corpus on every machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.model import ApplicationModel, EventAnnotation
+from repro.testgen.generator import MIN_STATES, generate_site
+from repro.testgen.spec import PageSpec, SiteSpec
+
+#: States per page of a minted corpus (every page gets exactly this many).
+CORPUS_STATES_PER_PAGE = 5
+
+
+def corpus_spec(
+    num_states: int,
+    seed: int = 0,
+    states_per_page: int = CORPUS_STATES_PER_PAGE,
+) -> SiteSpec:
+    """A spec with (at least) ``num_states`` states, minted from ``seed``.
+
+    Every page holds exactly ``states_per_page`` states so the page
+    count — and with it the whole RNG stream — is a pure function of the
+    scale knob.  The total is rounded up to a whole page.
+    """
+    if num_states < 1:
+        raise ValueError("a corpus needs at least one state")
+    if states_per_page < MIN_STATES:
+        raise ValueError(f"corpus pages need >= {MIN_STATES} states")
+    num_pages = -(-num_states // states_per_page)
+    return generate_site(
+        seed,
+        num_pages=num_pages,
+        min_states=states_per_page,
+        max_states=states_per_page,
+    )
+
+
+def _bfs_order(page: PageSpec) -> list[tuple[int, int]]:
+    """``(state, depth)`` in the breadth-first discovery order a crawl
+    of the page produces (edges explored in document order)."""
+    adjacency: dict[int, list[int]] = {}
+    for transition in page.transitions:
+        adjacency.setdefault(transition.src, []).append(transition.dst)
+    seen = {0}
+    order = [(0, 0)]
+    queue = deque([(0, 0)])
+    while queue:
+        state, depth = queue.popleft()
+        for nxt in adjacency.get(state, []):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            order.append((nxt, depth + 1))
+            queue.append((nxt, depth + 1))
+    return order
+
+
+def state_text(page: PageSpec, state: int) -> str:
+    """The text a rendered fragment of ``state`` tokenizes to."""
+    parts = [f"area {page.page_id} state {state}"]
+    parts.append(f"{page.markers[state]} {' '.join(page.words[state])}")
+    for transition in page.outgoing(state):
+        parts.append(f"visit {transition.dst}")
+    return " ".join(parts)
+
+
+def corpus_models(spec: SiteSpec) -> list[ApplicationModel]:
+    """Synthesize the crawled models of ``spec`` without crawling.
+
+    One :class:`ApplicationModel` per page, states added in BFS
+    discovery order with crawl depths, plus the transition graph (so
+    AJAXRank and aggregation work on minted corpora too).
+    """
+    models = []
+    for page in spec.pages:
+        model = ApplicationModel(spec.page_url(page.page_id))
+        by_index: dict[int, str] = {}
+        for state, depth in _bfs_order(page):
+            added, _ = model.add_state(
+                content_hash=f"corpus-{spec.seed}-{page.page_id}-{state}",
+                text=state_text(page, state),
+                depth=depth,
+            )
+            by_index[state] = added.state_id
+        for transition in page.transitions:
+            if transition.src not in by_index or transition.dst not in by_index:
+                continue
+            model.add_transition(
+                model.get_state(by_index[transition.src]),
+                model.get_state(by_index[transition.dst]),
+                EventAnnotation(
+                    source=f"#nav-{transition.src}-{transition.dst}",
+                    trigger="click",
+                    handler="loadFragment",
+                ),
+            )
+        models.append(model)
+    return models

@@ -165,3 +165,63 @@ class TestFinalizeThreadSafety:
         assert not index._sorted
         SearchEngine(index)
         assert index._sorted
+
+
+class TestTfBisect:
+    """Regression for the O(df) scan in tf(): the binary-search probe
+    must return exactly what a full scan of the posting list returns,
+    for every state and for misses on either side of the list."""
+
+    def _naive_tf(self, index, term, uri, state_id):
+        length = index.state_length(uri, state_id)
+        if length == 0:
+            return 0.0
+        for posting in index.postings(term):
+            if posting.uri == uri and posting.state_id == state_id:
+                return posting.count / length
+        return 0.0
+
+    def test_probe_matches_scan_everywhere(self):
+        models = [
+            make_model(
+                f"url{page:02d}",
+                [f"common unique{page}x{state} extra" for state in range(5)],
+            )
+            for page in range(10)
+        ]
+        index = InvertedFile().build(models)
+        assert index.document_frequency("common") == 50
+        for uri, state_id in index.states():
+            for term in ("common", f"unique{uri[3:]}x0", "absent"):
+                assert index.tf(term, uri, state_id) == self._naive_tf(
+                    index, term, uri, state_id
+                ), (term, uri, state_id)
+
+    def test_probe_misses_between_postings(self):
+        # "gap" is in url0 and url2 only; a url1 probe must land between
+        # the two postings and return 0 without a false match.
+        index = InvertedFile().build(
+            [
+                make_model("url0", ["gap word"]),
+                make_model("url1", ["other word"]),
+                make_model("url2", ["gap word"]),
+            ]
+        )
+        assert index.tf("gap", "url1", "s0") == 0.0
+        assert index.tf("gap", "url0", "s0") == pytest.approx(0.5)
+        assert index.tf("gap", "url2", "s0") == pytest.approx(0.5)
+
+    def test_probe_beyond_last_posting(self):
+        index = InvertedFile().build(
+            [make_model("a", ["solo term"]), make_model("z", ["filler only"])]
+        )
+        # "solo" sorts entirely before ("z", 0): bisect lands past the end.
+        assert index.tf("solo", "z", "s0") == 0.0
+
+    def test_probe_on_unfinalized_index(self):
+        # tf() must finalize (sort) before bisecting a fresh index.
+        index = InvertedFile()
+        index.add_model(make_model("b", ["term here"]))
+        index.add_model(make_model("a", ["term there"]))
+        assert not index._sorted
+        assert index.tf("term", "a", "s0") == pytest.approx(0.5)

@@ -86,3 +86,35 @@ class TestUpdateModel:
         index.update_model(make_model("u1", ["replaced text"]))
         assert engine.result_count("beta") == 0
         assert engine.result_count("replaced") == 1
+
+
+class TestRemoveUrlsBatch:
+    """Regression for per-removal posting-list rebuilds: removing k URIs
+    must filter each touched term once and report exact counts."""
+
+    def test_batch_equals_sequential(self):
+        models = [
+            make_model(f"u{i}", [f"shared only{i} text", f"shared more{i}"])
+            for i in range(5)
+        ]
+        batch = InvertedFile().build(models)
+        sequential = InvertedFile().build(models)
+        assert batch.remove_urls(["u1", "u3"]) == 4
+        assert sequential.remove_url("u1") + sequential.remove_url("u3") == 4
+        assert batch.states() == sequential.states()
+        for term in sorted(batch.terms() | sequential.terms()):
+            assert batch.postings(term) == sequential.postings(term), term
+
+    def test_batch_matches_fresh_build(self):
+        models = [make_model(f"u{i}", ["shared", f"only{i}"]) for i in range(4)]
+        index = InvertedFile().build(models)
+        assert index.remove_urls(["u0", "u2", "nope"]) == 4
+        fresh = InvertedFile().build([models[1], models[3]])
+        assert index.states() == fresh.states()
+        assert index.terms() == fresh.terms()
+        for term in fresh.terms():
+            assert index.postings(term) == fresh.postings(term), term
+
+    def test_empty_batch_noop(self, index):
+        assert index.remove_urls([]) == 0
+        assert index.num_states == 3

@@ -1,0 +1,350 @@
+"""Tests for the LSM segmented index behind the InvertedFile API.
+
+The contract under test is *exact parity*: whatever the in-memory
+:class:`InvertedFile` answers — postings, tf, idf, state order, search
+results — the :class:`SegmentedIndex` must answer identically, through
+any interleaving of flushes, compactions, removals and reopens.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SearchError
+from repro.model import ApplicationModel
+from repro.obs import COMPACTION, MetricsRegistry, Recorder, SEGMENT_FLUSH
+from repro.search import InvertedFile, SearchEngine, SegmentedIndex
+from repro.search.segmented import MANIFEST_NAME, _tier
+
+
+def make_model(url, state_texts):
+    model = ApplicationModel(url)
+    for offset, text in enumerate(state_texts):
+        model.add_state(f"{url}-h{offset}", text, depth=offset)
+    return model
+
+
+def corpus_texts(pages=6, states=4):
+    """Deterministic multi-model corpus with shared and unique terms."""
+    models = []
+    for page in range(pages):
+        texts = [
+            f"shared page{page} state{state} marker{page}x{state} filler words"
+            for state in range(states)
+        ]
+        models.append(make_model(f"http://site.test/p{page}", texts))
+    return models
+
+
+def assert_parity(memory, disk):
+    """Every InvertedFile query answer, compared field by field."""
+    assert disk.num_states == memory.num_states
+    assert disk.states() == memory.states()
+    assert disk.terms() == memory.terms()
+    assert disk.vocabulary_size == memory.vocabulary_size
+    for term in sorted(memory.terms()) + ["absent-term"]:
+        assert disk.postings(term) == memory.postings(term), term
+        assert disk.document_frequency(term) == memory.document_frequency(term)
+        assert disk.idf(term) == memory.idf(term), term  # bit-identical
+    for uri, state_id in memory.states():
+        assert disk.state_length(uri, state_id) == memory.state_length(uri, state_id)
+        assert disk.state_depth(uri, state_id) == memory.state_depth(uri, state_id)
+        for term in ("shared", "absent-term"):
+            assert disk.tf(term, uri, state_id) == memory.tf(term, uri, state_id)
+
+
+class TestParity:
+    def test_multi_segment_build_matches_memory(self, tmp_path):
+        models = corpus_texts()
+        memory = InvertedFile().build(models)
+        disk = SegmentedIndex(
+            tmp_path / "idx", flush_threshold=20, block_size=4
+        ).build(models)
+        assert disk.num_segments > 1
+        assert_parity(memory, disk)
+        disk.close()
+
+    def test_search_engine_results_identical(self, tmp_path):
+        models = corpus_texts()
+        memory_engine = SearchEngine(InvertedFile().build(models))
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=20).build(models)
+        disk_engine = SearchEngine(disk)
+        for query in ("shared", "marker2x1", "shared page3", "shared absent"):
+            assert disk_engine.search(query) == memory_engine.search(query), query
+        disk.close()
+
+    def test_max_state_index_respected(self, tmp_path):
+        models = corpus_texts(pages=2, states=4)
+        memory = InvertedFile(max_state_index=2).build(models)
+        disk = SegmentedIndex(tmp_path / "idx", max_state_index=2).build(models)
+        assert_parity(memory, disk)
+        assert disk.postings("state3") == []
+        disk.close()
+
+    def test_conjunction_skipping_accounted(self, tmp_path):
+        models = corpus_texts(pages=8, states=5)
+        disk = SegmentedIndex(tmp_path / "idx", block_size=4).build(models)
+        groups = disk.conjunction(["shared", "marker7x4"])
+        assert len(groups) == 1
+        assert groups[0][0].uri == "http://site.test/p7"
+        stats = disk.merge_stats
+        assert stats.blocks_skipped > 0
+        assert stats.postings_decoded < stats.postings_total
+        assert disk.conjunction([]) == []
+        disk.close()
+
+
+class TestFlushAndCompaction:
+    def test_flush_threshold_bounds_memtable(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=1, compact_fanin=100)
+        for model in corpus_texts(pages=3, states=2):
+            disk.add_model(model)
+        # Every model crosses the one-posting threshold -> one segment each.
+        assert disk.num_segments == 3
+        assert disk._memtable.num_postings == 0
+        disk.close()
+
+    def test_tiered_compaction_keeps_segment_count_low(self, tmp_path):
+        disk = SegmentedIndex(
+            tmp_path / "idx", flush_threshold=1, compact_fanin=2
+        ).build(corpus_texts(pages=8, states=2))
+        # 8 flushed segments, fanin 2 -> repeatedly merged.
+        assert disk.num_segments < 8
+        assert_parity(InvertedFile().build(corpus_texts(pages=8, states=2)), disk)
+        disk.close()
+
+    def test_compact_all_single_segment(self, tmp_path):
+        models = corpus_texts()
+        disk = SegmentedIndex(
+            tmp_path / "idx", flush_threshold=20, compact_fanin=100
+        ).build(models)
+        assert disk.num_segments > 1
+        assert disk.compact_all() == 1
+        assert disk.num_segments == 1
+        # Merged segment re-derives exact global df -> idf bit-identical.
+        assert_parity(InvertedFile().build(models), disk)
+        # Old segment files are gone from disk.
+        live = {reader.name for reader in disk._readers}
+        on_disk = {p.name for p in (tmp_path / "idx").glob("*.seg")}
+        assert on_disk == live
+        disk.close()
+
+    def test_compact_all_noop_on_single_segment(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx").build(corpus_texts(pages=1))
+        assert disk.compact_all() == 0
+        disk.close()
+
+    def test_tier_function(self):
+        assert _tier(0) == 0
+        assert _tier(3) == 0
+        assert _tier(4) == 1
+        assert _tier(64) == 3
+
+    def test_flush_and_compaction_observability(self, tmp_path):
+        recorder = Recorder()
+        metrics = MetricsRegistry()
+        disk = SegmentedIndex(
+            tmp_path / "idx",
+            recorder=recorder,
+            metrics=metrics,
+            flush_threshold=1,
+            compact_fanin=2,
+        ).build(corpus_texts(pages=4, states=2))
+        kinds = [event.kind for event in recorder.events]
+        assert SEGMENT_FLUSH in kinds
+        assert COMPACTION in kinds
+        flush = next(e for e in recorder.events if e.kind == SEGMENT_FLUSH)
+        assert flush.fields["num_states"] == 2
+        assert metrics.counter("index.segment_flushes") == 4
+        assert metrics.counter("index.compactions") >= 1
+        disk.conjunction(["shared"])
+        assert metrics.counter("index.blocks_decoded") > 0
+        disk.close()
+
+
+class TestMaintenance:
+    def test_remove_url_exact_counts_and_idf(self, tmp_path):
+        models = corpus_texts(pages=4, states=3)
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=10).build(models)
+        assert disk.remove_url("http://site.test/p1") == 3
+        assert disk.remove_url("http://site.test/nope") == 0
+        fresh = InvertedFile().build(
+            [m for m in models if m.url != "http://site.test/p1"]
+        )
+        assert_parity(fresh, disk)
+        disk.close()
+
+    def test_remove_urls_batch(self, tmp_path):
+        models = corpus_texts(pages=4, states=3)
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=10).build(models)
+        removed = disk.remove_urls(
+            ["http://site.test/p0", "http://site.test/p2"]
+        )
+        assert removed == 6
+        assert_parity(
+            InvertedFile().build([models[1], models[3]]), disk
+        )
+        disk.close()
+
+    def test_remove_last_url_drops_segment(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx").build(corpus_texts(pages=1))
+        assert disk.num_segments == 1
+        disk.remove_url("http://site.test/p0")
+        assert disk.num_segments == 0
+        assert disk.num_states == 0
+        assert disk.postings("shared") == []
+        disk.close()
+
+    def test_remove_from_memtable_before_flush(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx")
+        disk.add_model(make_model("u1", ["alpha beta"]))
+        assert disk.remove_url("u1") == 1
+        assert disk.num_states == 0
+        disk.close()
+
+    def test_update_model_moves_states_to_end(self, tmp_path):
+        models = corpus_texts(pages=3, states=2)
+        memory = InvertedFile().build([m for m in models])
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=4).build(models)
+        replacement = make_model("http://site.test/p0", ["replacement text here"])
+        memory.update_model(replacement)
+        disk.update_model(replacement)
+        # Insertion order parity: p0's states re-enter at the end.
+        assert disk.states() == memory.states()
+        assert disk.states()[-1] == ("http://site.test/p0", "s0")
+        assert_parity(memory, disk)
+        disk.close()
+
+    def test_duplicate_state_rejected_across_segments(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx")
+        model = make_model("u1", ["alpha beta"])
+        disk.add_model(model)
+        disk.finalize()  # frozen into a segment
+        with pytest.raises(SearchError, match="indexed twice"):
+            disk.add_model(make_model("u1", ["gamma"]))
+        disk.close()
+
+    def test_duplicate_state_rejected_in_memtable(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx")
+        disk.add_model(make_model("u1", ["alpha beta"]))
+        with pytest.raises(SearchError, match="indexed twice"):
+            disk.add_model(make_model("u1", ["gamma"]))
+        disk.close()
+
+
+class TestPersistence:
+    def test_reopen_answers_identically(self, tmp_path):
+        models = corpus_texts()
+        memory = InvertedFile().build(models)
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=20).build(models)
+        disk.close()
+        reopened = SegmentedIndex.open(tmp_path / "idx")
+        assert_parity(memory, reopened)
+        reopened.close()
+
+    def test_reopen_preserves_settings_and_sequences(self, tmp_path):
+        disk = SegmentedIndex(
+            tmp_path / "idx",
+            max_state_index=3,
+            stopwords=frozenset({"the"}),
+            block_size=7,
+        ).build(corpus_texts(pages=2))
+        next_seq = disk._next_seq
+        disk.close()
+        reopened = SegmentedIndex.open(tmp_path / "idx")
+        assert reopened.max_state_index == 3
+        assert reopened.stopwords == frozenset({"the"})
+        assert reopened.block_size == 7
+        assert reopened._next_seq == next_seq
+        # New states continue the global sequence, keeping order stable.
+        reopened.add_model(make_model("late", ["late arrival"]))
+        reopened.finalize()
+        assert reopened.states()[-1] == ("late", "s0")
+        reopened.close()
+
+    def test_open_requires_manifest(self, tmp_path):
+        with pytest.raises(SearchError, match="not a segmented index"):
+            SegmentedIndex.open(tmp_path / "missing")
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "idx"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(SearchError, match="corrupt index manifest"):
+            SegmentedIndex(root)
+
+    def test_unsupported_manifest_version_rejected(self, tmp_path):
+        root = tmp_path / "idx"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text(
+            json.dumps({"version": 99}), encoding="utf-8"
+        )
+        with pytest.raises(SearchError, match="version"):
+            SegmentedIndex(root)
+
+    def test_stats_inventory(self, tmp_path):
+        disk = SegmentedIndex(tmp_path / "idx", flush_threshold=20).build(
+            corpus_texts()
+        )
+        stats = disk.stats()
+        assert stats["num_segments"] == disk.num_segments == len(stats["segments"])
+        assert stats["num_states"] == disk.num_states
+        assert stats["num_bytes"] == sum(s["num_bytes"] for s in stats["segments"])
+        assert stats["cache"]["capacity"] == disk.cache.capacity
+        disk.close()
+
+
+# -- update_model == fresh rebuild (property) --------------------------------------
+
+words = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+texts = st.lists(
+    st.lists(words, min_size=1, max_size=5).map(" ".join), min_size=1, max_size=4
+)
+
+
+@given(initial=texts, replacement=texts, other=texts)
+@settings(max_examples=25, deadline=None)
+def test_update_model_equals_fresh_rebuild_property(
+    tmp_path_factory, initial, replacement, other
+):
+    """update_model(m) leaves any index equal to a fresh build with m.
+
+    Checked for both backends against the same fresh InvertedFile:
+    postings, df, idf, lengths, depths and global state order.
+    """
+    updated = [make_model("u1", replacement), make_model("u2", other)]
+    fresh = InvertedFile().build(updated)
+
+    memory = InvertedFile().build(
+        [make_model("u1", initial), make_model("u2", other)]
+    )
+    memory.update_model(make_model("u1", replacement))
+
+    scratch = tmp_path_factory.mktemp("segmented")
+    disk = SegmentedIndex(scratch / "idx", flush_threshold=3, block_size=2).build(
+        [make_model("u1", initial), make_model("u2", other)]
+    )
+    disk.update_model(make_model("u1", replacement))
+
+    for index in (memory, disk):
+        assert index.num_states == fresh.num_states
+        assert index.terms() == fresh.terms()
+        for term in fresh.terms():
+            assert index.postings(term) == fresh.postings(term), term
+            assert index.document_frequency(term) == fresh.document_frequency(term)
+            assert index.idf(term) == fresh.idf(term), term
+        for uri, state_id in fresh.states():
+            assert index.state_length(uri, state_id) == fresh.state_length(
+                uri, state_id
+            )
+            assert index.state_depth(uri, state_id) == fresh.state_depth(
+                uri, state_id
+            )
+    # Order differs from a fresh build only in u1 moving to the end —
+    # both backends must agree on the exact resulting order.
+    assert disk.states() == memory.states()
+    disk.close()

@@ -1,0 +1,89 @@
+"""Tests for deterministic corpus minting (repro.testgen.corpus)."""
+
+import pytest
+
+from repro.search import InvertedFile
+from repro.testgen import (
+    CORPUS_STATES_PER_PAGE,
+    corpus_models,
+    corpus_spec,
+    state_text,
+)
+
+
+class TestCorpusSpec:
+    def test_rounds_up_to_whole_pages(self):
+        spec = corpus_spec(12)
+        assert len(spec.pages) == 3  # ceil(12 / 5)
+        assert spec.total_states == 15
+        assert all(p.num_states == CORPUS_STATES_PER_PAGE for p in spec.pages)
+
+    def test_deterministic_across_calls(self):
+        first = corpus_spec(40, seed=7)
+        second = corpus_spec(40, seed=7)
+        assert first.to_dict() == second.to_dict()
+        assert corpus_spec(40, seed=8).to_dict() != first.to_dict()
+
+    def test_scale_knob_is_a_pure_prefix(self):
+        """Growing the corpus never rewrites the pages already minted."""
+        small = corpus_spec(10, seed=3)
+        large = corpus_spec(20, seed=3)
+        for small_page, large_page in zip(small.pages, large.pages):
+            assert small_page.to_dict() == large_page.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one state"):
+            corpus_spec(0)
+        with pytest.raises(ValueError, match="states"):
+            corpus_spec(10, states_per_page=1)
+
+
+class TestCorpusModels:
+    @pytest.fixture(scope="class")
+    def minted(self):
+        spec = corpus_spec(25, seed=1)
+        return spec, corpus_models(spec)
+
+    def test_one_model_per_page_all_states(self, minted):
+        spec, models = minted
+        assert len(models) == len(spec.pages)
+        assert sum(len(model.states()) for model in models) == spec.total_states
+        assert [model.url for model in models] == [
+            spec.page_url(page.page_id) for page in spec.pages
+        ]
+
+    def test_state_zero_first_with_bfs_depths(self, minted):
+        spec, models = minted
+        for page, model in zip(spec.pages, models):
+            states = model.states()
+            assert states[0].depth == 0
+            assert states[0].text == state_text(page, 0)
+            # Depths never decrease along BFS discovery order.
+            depths = [state.depth for state in states]
+            assert all(b - a <= 1 for a, b in zip(depths, depths[1:]))
+            assert all(depth >= 0 for depth in depths)
+
+    def test_text_carries_marker_and_words(self, minted):
+        spec, models = minted
+        page = spec.pages[0]
+        text = state_text(page, 2)
+        assert f"area {page.page_id} state 2" in text
+        assert page.markers[2] in text
+        for word in page.words[2]:
+            assert word in text
+
+    def test_transitions_replicated(self, minted):
+        spec, models = minted
+        for page, model in zip(spec.pages, models):
+            # Transitions between discovered states all carry annotations.
+            assert len(model.transitions()) == len(page.transitions)
+
+    def test_markers_unique_in_index(self, minted):
+        """Every marker identifies exactly one state — the ground-truth
+        property the skewed benchmark queries rely on."""
+        spec, models = minted
+        index = InvertedFile().build(models)
+        assert index.num_states == spec.total_states
+        for page in spec.pages:
+            for marker in page.markers:
+                assert index.document_frequency(marker) == 1, marker
