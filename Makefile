@@ -8,10 +8,10 @@ export PYTHONPATH
 
 .PHONY: check test test-fast coverage bench-faults bench-smoke bench \
 	trace-verify trace-regen profile-smoke testgen-smoke serve-smoke \
-	bench-serving bench-parallel bench-index
+	obs-live-smoke bench-serving bench-parallel bench-index
 
 check: test bench-faults bench-smoke bench-index trace-verify profile-smoke \
-	testgen-smoke serve-smoke
+	testgen-smoke serve-smoke obs-live-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,11 @@ testgen-smoke:
 # drive the query/result/metrics/429 sequence end to end.
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
+
+# Live-telemetry gate: a seeded latency storm on a virtual clock must
+# fire the slo-burn-rate doctor rule; a healthy run must stay silent.
+obs-live-smoke:
+	$(PYTHON) -m repro.serve.live_smoke
 
 # Serving load benchmark: latency percentiles, RPS, cache hit rate and
 # 429 counts (writes benchmarks/results/BENCH_serving.json).

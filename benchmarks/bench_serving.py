@@ -9,7 +9,11 @@ workload through closed-loop HTTP workers, three ways:
 2. **rate-limited** — a tight token bucket: verifies the 429 path under
    load and records the rejection count;
 3. **soak** — 5 ms deterministic injected latency: verifies injection
-   actually shapes the observed latency floor.
+   actually shapes the observed latency floor;
+4. **telemetry overhead** — the same workload with live telemetry on vs
+   off (best of two runs each): the windowed counters, sketches, SLO
+   trackers and trace rings must cost under 10% of throughput
+   (``MIN_TELEMETRY_RATIO`` asserted).
 
 Results go to ``benchmarks/results/BENCH_serving.json``.  The asserted
 floors are deliberately loose (an order of magnitude under the
@@ -29,6 +33,7 @@ from repro.serve import (
     SearchServer,
     SearchService,
     ServeConfig,
+    TelemetryConfig,
     run_loadtest,
 )
 from repro.sites import SiteConfig, SyntheticYouTube, paper_queries
@@ -42,14 +47,27 @@ MIN_RPS = 50.0
 MAX_P50_MS = 100.0
 MAX_P99_MS = 1000.0
 MIN_CACHE_HIT_RATE = 0.5
+#: Live telemetry may cost at most 10% of telemetry-off throughput.
+MIN_TELEMETRY_RATIO = 0.9
+
+_CORPUS = None
+
+
+def _corpus():
+    """Crawl + index once; every serving pass shares the read-only engine."""
+    global _CORPUS
+    if _CORPUS is None:
+        site = SyntheticYouTube(SiteConfig(num_videos=NUM_VIDEOS, seed=7))
+        crawler = AjaxCrawler(site, cost_model=CostModel(network_jitter=0.0))
+        crawled = crawler.crawl([site.video_url(i) for i in range(NUM_VIDEOS)])
+        engine = SearchEngine.build(crawled.models)
+        _CORPUS = (engine, crawled.models, site)
+    return _CORPUS
 
 
 def _build_service(config: ServeConfig) -> SearchService:
-    site = SyntheticYouTube(SiteConfig(num_videos=NUM_VIDEOS, seed=7))
-    crawler = AjaxCrawler(site, cost_model=CostModel(network_jitter=0.0))
-    crawled = crawler.crawl([site.video_url(i) for i in range(NUM_VIDEOS)])
-    engine = SearchEngine.build(crawled.models)
-    return SearchService(engine, config, models=crawled.models, site=site)
+    engine, models, site = _corpus()
+    return SearchService(engine, config, models=models, site=site)
 
 
 def serving_study() -> dict:
@@ -86,17 +104,41 @@ def serving_study() -> dict:
             LoadTestConfig(workers=4, requests_per_worker=30),
         )
 
+    # Telemetry on vs off, best of two runs each (closed-loop loopback
+    # throughput is noisy; best-of damps scheduler jitter).
+    overhead_load = LoadTestConfig(workers=8, requests_per_worker=100)
+    modes = {}
+    for name, enabled in (("on", True), ("off", False)):
+        config = ServeConfig(telemetry=TelemetryConfig(enabled=enabled))
+        best = None
+        for _ in range(2):
+            with SearchServer(_build_service(config)) as server:
+                run = run_loadtest(server.url, queries, overhead_load)
+            if best is None or run.rps > best.rps:
+                best = run
+        modes[name] = best
+    telemetry_ratio = (
+        modes["on"].rps / modes["off"].rps if modes["off"].rps else 0.0
+    )
+
     report = {
         "dataset": {"num_videos": NUM_VIDEOS, "indexed_states": states},
         "workload": {"queries": len(queries), "source": "Table 7.4"},
         "throughput": throughput.to_dict(),
         "rate_limited": limited.to_dict(),
         "soak_latency_5ms": soak.to_dict(),
+        "telemetry_overhead": {
+            "on": modes["on"].to_dict(),
+            "off": modes["off"].to_dict(),
+            "ratio": telemetry_ratio,
+            "min_ratio": MIN_TELEMETRY_RATIO,
+        },
         "threshold": {
             "min_rps": MIN_RPS,
             "max_p50_ms": MAX_P50_MS,
             "max_p99_ms": MAX_P99_MS,
             "min_cache_hit_rate": MIN_CACHE_HIT_RATE,
+            "min_telemetry_ratio": MIN_TELEMETRY_RATIO,
         },
     }
     RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -122,6 +164,12 @@ def test_serving_benchmark(benchmark):
     print(
         f"[serving] soak pass (5ms injected): p50={soak['p50_ms']:.2f}ms"
     )
+    overhead = report["telemetry_overhead"]
+    print(
+        f"[serving] telemetry overhead: {overhead['on']['rps']:.0f} req/s on "
+        f"vs {overhead['off']['rps']:.0f} req/s off "
+        f"(ratio {overhead['ratio']:.2f}, floor {MIN_TELEMETRY_RATIO})"
+    )
 
     assert throughput["errors"] == 0
     assert throughput["rps"] >= MIN_RPS
@@ -133,4 +181,7 @@ def test_serving_benchmark(benchmark):
     assert limited["status_counts"].get("429", 0) == limited["rate_limited"]
     # ...and injected latency must dominate the soak pass's floor.
     assert soak["p50_ms"] >= 4.0
+    # Live telemetry must stay within 10% of telemetry-off throughput.
+    assert overhead["on"]["errors"] == 0 and overhead["off"]["errors"] == 0
+    assert overhead["ratio"] >= MIN_TELEMETRY_RATIO
     assert RESULT_PATH.exists()

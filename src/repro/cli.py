@@ -406,6 +406,31 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import format_top
+
+    url = args.url.rstrip("/") + "/debug/vars"
+    remaining = args.iterations
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                data = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"top: cannot read {url}: {exc}", file=sys.stderr)
+            return 1
+        print(format_top(data))
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        print()
+        _time.sleep(args.interval)
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     for directory in URLPartitioner.list_partitions(args.root):
         for model in load_models(directory):
@@ -739,6 +764,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--limit", type=int, default=10)
     loadtest.add_argument("--out", default=None, metavar="FILE", help="JSON report")
     loadtest.set_defaults(fn=cmd_loadtest)
+
+    top = sub.add_parser(
+        "top", help="live telemetry of a running server (polls /debug/vars)"
+    )
+    top.add_argument("--url", required=True, help="server base URL")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N snapshots (default: poll forever)",
+    )
+    top.add_argument("--timeout", type=float, default=5.0, help="HTTP timeout")
+    top.set_defaults(fn=cmd_top)
 
     stats = sub.add_parser("stats", help="statistics over crawled models")
     stats.add_argument("--root", required=True)

@@ -46,7 +46,30 @@ from repro.obs.doctor import (
     diagnose,
     format_findings,
 )
-from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    SERVE_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    bucket_bounds,
+    register_buckets,
+)
+from repro.obs.reqtrace import RequestTrace, active_request, current_request_trace
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    merge_sketches,
+    nearest_rank,
+)
+from repro.obs.slo import (
+    BURN_RATE_RULE,
+    DEFAULT_BURN_RULES,
+    SLO,
+    BurnRateRule,
+    SLOTracker,
+    burn_rate,
+)
+from repro.obs.window import RollingCounter, RollingSketch
 from repro.obs.profile import (
     ComponentRow,
     CriticalPathReport,
@@ -113,6 +136,24 @@ __all__ = [
     "MetricsRegistry",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
+    "register_buckets",
+    "bucket_bounds",
+    "QuantileSketch",
+    "merge_sketches",
+    "nearest_rank",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "RollingCounter",
+    "RollingSketch",
+    "SLO",
+    "SLOTracker",
+    "BurnRateRule",
+    "DEFAULT_BURN_RULES",
+    "BURN_RATE_RULE",
+    "burn_rate",
+    "RequestTrace",
+    "current_request_trace",
+    "active_request",
     "normalize_lines",
     "merge_partition_traces",
     "diff_traces",

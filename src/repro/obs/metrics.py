@@ -38,6 +38,37 @@ MetricKey = tuple[str, tuple[tuple[str, str], ...]]
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
                    1000.0, 2500.0, 5000.0, 10000.0, float("inf"))
 
+#: Wall-clock serving latency bounds: loopback cache hits are tens of
+#: *micro*seconds, replay tails run to seconds.  The generic bounds
+#: start at 1 ms, which collapsed every cache hit into one bucket.
+SERVE_LATENCY_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                         50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+                         float("inf"))
+
+#: Per-metric histogram bounds.  Registering a name here changes which
+#: bounds :meth:`MetricsRegistry.observe` uses when it first creates
+#: that histogram; everything else (merge exactness, exposition,
+#: snapshots) is bounds-agnostic.  Registration must happen at import
+#: time so every registry in a process — and every partition registry
+#: that will later merge — agrees on the bounds.
+_METRIC_BUCKETS: dict[str, tuple[float, ...]] = {}
+
+
+def register_buckets(name: str, bounds: Sequence[float]) -> None:
+    """Pin the histogram bucket bounds used for metric ``name``."""
+    bounds = tuple(bounds)
+    if not bounds or list(bounds) != sorted(bounds):
+        raise ValueError(f"bucket bounds must be ascending, got {bounds!r}")
+    _METRIC_BUCKETS[name] = bounds
+
+
+def bucket_bounds(name: str) -> tuple[float, ...]:
+    """The bounds ``observe`` will use for ``name`` (default otherwise)."""
+    return _METRIC_BUCKETS.get(name, DEFAULT_BUCKETS)
+
+
+register_buckets("serve.request_ms", SERVE_LATENCY_BUCKETS)
+
 
 def _key(name: str, labels: Mapping[str, object]) -> MetricKey:
     return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
@@ -107,7 +138,9 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(key)
             if histogram is None:
-                histogram = self._histograms[key] = Histogram()
+                histogram = self._histograms[key] = Histogram(
+                    bucket_bounds(name)
+                )
             histogram.observe(value)
 
     # -- reads -------------------------------------------------------------------
@@ -306,7 +339,19 @@ def _prom_labels(
 
 
 def _prom_value(value: float) -> str:
-    """Render a sample value (integers without the trailing ``.0``)."""
+    """Render a sample value (integers without the trailing ``.0``).
+
+    Non-finite values get the spellings the text-exposition format
+    mandates (``+Inf`` / ``-Inf`` / ``NaN``) — ``int(value)`` on them
+    raised, so a gauge legitimately set to infinity used to crash the
+    whole ``/metrics`` render.
+    """
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

@@ -1,0 +1,104 @@
+"""Per-request deep tracing: a context-propagated trace object.
+
+The serving tier wants to answer "what did request ``req-00000042`` do,
+exactly?" — which cache outcome, how many query terms matched, and how
+much of the on-disk index it touched (blocks decoded vs skipped: the
+per-query read amplification).  Threading a trace argument through
+``SearchService -> SearchEngine -> evaluate -> SegmentedIndex`` would
+put a serving concern in every search signature, so the trace rides a
+:mod:`contextvars` context variable instead: the service opens an
+:func:`active_request` scope around the endpoint body, and any layer
+below may cheaply ask :func:`current_request_trace` and annotate it.
+
+``contextvars`` gives each handler thread its own binding, so
+concurrent requests never see each other's traces.  Outside a scope
+:func:`current_request_trace` returns ``None`` and every instrumented
+layer skips a single attribute lookup — crawling, benchmarks and the
+golden traces are untouched.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+_CURRENT: contextvars.ContextVar[Optional["RequestTrace"]] = (
+    contextvars.ContextVar("repro_request_trace", default=None)
+)
+
+
+@dataclass
+class RequestTrace:
+    """Everything one request did, accumulated as it descends the stack."""
+
+    request_id: str
+    endpoint: str
+    client: str = "-"
+    #: Service clock seconds at admission (whatever clock the service
+    #: injects — wall by default, fake in tests).
+    started_s: float = 0.0
+    status: int = 0
+    duration_ms: float = 0.0
+    #: Deterministically hash-selected for the sampled-trace ring.
+    sampled: bool = False
+    #: Free-form annotations from any layer (query, cached, terms, ...).
+    fields: dict[str, Any] = field(default_factory=dict)
+    #: Per-query index read-amplification, summed over conjunctions.
+    blocks_decoded: int = 0
+    blocks_skipped: int = 0
+    postings_decoded: int = 0
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach fields (later layers win on key collision)."""
+        self.fields.update(fields)
+
+    def add_index_stats(
+        self, blocks_decoded: int, blocks_skipped: int, postings_decoded: int
+    ) -> None:
+        """Book one conjunction's block accounting onto this request."""
+        self.blocks_decoded += blocks_decoded
+        self.blocks_skipped += blocks_skipped
+        self.postings_decoded += postings_decoded
+
+    @property
+    def decode_fraction(self) -> float:
+        """Blocks decoded over blocks visited (1.0 = no skipping won)."""
+        visited = self.blocks_decoded + self.blocks_skipped
+        return self.blocks_decoded / visited if visited else 0.0
+
+    def to_dict(self) -> dict:
+        """The ``/debug/trace`` rendering."""
+        data = {
+            "request_id": self.request_id,
+            "endpoint": self.endpoint,
+            "client": self.client,
+            "status": self.status,
+            "duration_ms": self.duration_ms,
+            "sampled": self.sampled,
+            "fields": dict(self.fields),
+        }
+        if self.blocks_decoded or self.blocks_skipped or self.postings_decoded:
+            data["index"] = {
+                "blocks_decoded": self.blocks_decoded,
+                "blocks_skipped": self.blocks_skipped,
+                "postings_decoded": self.postings_decoded,
+                "decode_fraction": self.decode_fraction,
+            }
+        return data
+
+
+def current_request_trace() -> Optional[RequestTrace]:
+    """The trace of the request this code runs under, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def active_request(trace: RequestTrace) -> Iterator[RequestTrace]:
+    """Bind ``trace`` as the current request for the enclosed body."""
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,216 @@
+"""SLO specs, error-budget accounting and multi-window burn-rate rules.
+
+An :class:`SLO` names an objective over a budget window: either
+**availability** ("99.9% of requests succeed") or **latency** ("99% of
+requests answer under 250 ms").  Both reduce to the same bookkeeping —
+every request is *good* or *bad*, and the error budget is the bad
+fraction the objective tolerates: ``budget = 1 - objective``.
+
+The **burn rate** over a horizon is how fast that budget is being
+spent::
+
+    burn = (bad / total) / (1 - objective)
+
+Burn 1.0 spends exactly the budget over the window; burn 14.4 on a
+99.9% / 1 h budget exhausts it in ~4 minutes.  A
+:class:`BurnRateRule` fires only when *both* a long and a short horizon
+burn above its threshold — the long horizon proves the problem is
+sustained, the short one proves it is still happening (the classic
+multi-window alerting policy; a one-window rule either pages on blips
+or keeps paging long after recovery).
+
+:class:`SLOTracker` books requests into :class:`~repro.obs.window`
+rolling counters on the injectable clock and renders violations as
+:class:`~repro.obs.doctor.Finding` objects, so SLO alerts flow through
+the exact pipeline (severity, signal, threshold, action, evidence) the
+trace doctor already established.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.doctor import Finding
+from repro.obs.window import RollingCounter
+
+#: Rule id carried by every burn-rate finding.
+BURN_RATE_RULE = "slo-burn-rate"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a rolling budget window."""
+
+    #: Stable identifier ("availability", "latency-p99", ...).
+    name: str
+    #: Target good-request ratio in [0, 1), e.g. 0.999.
+    objective: float = 0.999
+    #: When set, the SLO is a latency objective: a request is *bad* when
+    #: it runs longer than this many milliseconds.  When None, the SLO
+    #: is an availability objective: a request is bad when it fails
+    #: (5xx / transport error).
+    latency_ms: Optional[float] = None
+    #: Budget window in seconds (also the rolling-window length).
+    window_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in [0, 1), got {self.objective}"
+            )
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.latency_ms is not None and self.latency_ms <= 0:
+            raise ValueError(
+                f"latency_ms must be positive, got {self.latency_ms}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The tolerated bad-request fraction: ``1 - objective``."""
+        return 1.0 - self.objective
+
+    def is_bad(self, ok: bool, latency_ms: float) -> bool:
+        """Whether one request spends budget under this objective."""
+        if self.latency_ms is not None:
+            return latency_ms > self.latency_ms
+        return not ok
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when burn exceeds ``max_burn`` over both horizons."""
+
+    #: The sustained horizon, seconds (capped at the SLO window).
+    long_s: float = 3600.0
+    #: The still-happening horizon, seconds.
+    short_s: float = 300.0
+    #: Burn-rate threshold both horizons must exceed.
+    max_burn: float = 14.4
+    severity: str = "critical"
+    #: Minimum requests in the short horizon before the rule may fire
+    #: (a 1-request sample is noise, not an outage).
+    min_requests: int = 10
+
+
+#: The standard fast-burn / slow-burn pair (Google SRE workbook numbers,
+#: scaled to a 1 h budget window): 14.4x spends a day's budget in 100
+#: minutes, 6x in 4 hours.
+DEFAULT_BURN_RULES = (
+    BurnRateRule(long_s=3600.0, short_s=300.0, max_burn=14.4,
+                 severity="critical"),
+    BurnRateRule(long_s=3600.0, short_s=900.0, max_burn=6.0,
+                 severity="warning"),
+)
+
+
+def burn_rate(bad: float, total: float, objective: float) -> float:
+    """Budget-spend speed: observed bad ratio over the tolerated one."""
+    if total <= 0:
+        return 0.0
+    return (bad / total) / max(1.0 - objective, 1e-12)
+
+
+class SLOTracker:
+    """Books requests against one SLO; reports burn rates and findings."""
+
+    def __init__(
+        self,
+        slo: SLO,
+        clock: Callable[[], float] = time.monotonic,
+        rules: tuple[BurnRateRule, ...] = DEFAULT_BURN_RULES,
+        slots: int = 60,
+    ) -> None:
+        self.slo = slo
+        self.rules = rules
+        self._total = RollingCounter(slo.window_s, slots, clock)
+        self._bad = RollingCounter(slo.window_s, slots, clock)
+
+    def record(self, ok: bool, latency_ms: float) -> bool:
+        """Book one request; returns whether it spent budget."""
+        bad = self.slo.is_bad(ok, latency_ms)
+        self._total.add(1.0)
+        if bad:
+            self._bad.add(1.0)
+        return bad
+
+    def burn(self, horizon_s: Optional[float] = None) -> float:
+        """The burn rate over a horizon (None = whole window)."""
+        return burn_rate(
+            self._bad.total(horizon_s),
+            self._total.total(horizon_s),
+            self.slo.objective,
+        )
+
+    def status(self) -> dict:
+        """A JSON-able snapshot for ``/debug/slo``."""
+        total = self._total.total()
+        bad = self._bad.total()
+        budget_requests = total * self.slo.budget
+        return {
+            "name": self.slo.name,
+            "objective": self.slo.objective,
+            "kind": "latency" if self.slo.latency_ms is not None
+            else "availability",
+            "latency_ms": self.slo.latency_ms,
+            "window_s": self.slo.window_s,
+            "total": total,
+            "bad": bad,
+            "bad_ratio": bad / total if total else 0.0,
+            # Fraction of the window's error budget already spent
+            # (>= 1.0 means the budget is gone).
+            "budget_spent": (
+                bad / budget_requests if budget_requests > 0 else 0.0
+            ),
+            "burn": {
+                f"{rule.short_s:g}s/{rule.long_s:g}s": {
+                    "short": self.burn(rule.short_s),
+                    "long": self.burn(rule.long_s),
+                    "max_burn": rule.max_burn,
+                }
+                for rule in self.rules
+            },
+        }
+
+    def findings(self) -> list[Finding]:
+        """Burn-rate violations as doctor findings (empty when healthy)."""
+        findings: list[Finding] = []
+        for rule in self.rules:
+            short_total = self._total.total(rule.short_s)
+            if short_total < rule.min_requests:
+                continue
+            short_burn = self.burn(rule.short_s)
+            long_burn = self.burn(rule.long_s)
+            if short_burn < rule.max_burn or long_burn < rule.max_burn:
+                continue
+            findings.append(
+                Finding(
+                    rule=BURN_RATE_RULE,
+                    severity=rule.severity,
+                    message=(
+                        f"SLO {self.slo.name!r} burning "
+                        f"{short_burn:.1f}x budget over {rule.short_s:g}s "
+                        f"and {long_burn:.1f}x over {rule.long_s:g}s "
+                        f"(threshold {rule.max_burn:g}x)"
+                    ),
+                    signal=min(short_burn, long_burn),
+                    threshold=rule.max_burn,
+                    action=(
+                        "the error budget will exhaust well before the "
+                        "window closes: shed load, roll back the last "
+                        "change, or check the origin/index health"
+                    ),
+                    evidence={
+                        "slo": self.slo.name,
+                        "objective": self.slo.objective,
+                        "short_s": rule.short_s,
+                        "long_s": rule.long_s,
+                        "short_burn": short_burn,
+                        "long_burn": long_burn,
+                        "short_requests": short_total,
+                    },
+                )
+            )
+        return findings

@@ -1,0 +1,189 @@
+"""Rolling time-window aggregation over an injectable clock.
+
+Cumulative counters answer "how many ever"; live operations needs "how
+many *lately*".  A :class:`RollingCounter` / :class:`RollingSketch`
+divides its window into a fixed ring of slots (default 12 slots over
+60 s, i.e. 5 s resolution), writes into the slot the injected clock
+says is current, and lazily expires slots that have rotated out — no
+background thread, no timers, fully deterministic on a fake clock.
+
+Reads can narrow to a ``horizon_s`` shorter than the full window: the
+multi-window SLO burn-rate rules (:mod:`repro.obs.slo`) compare a
+short-horizon rate against the long-horizon rate over the *same* ring.
+
+Slot granularity is the resolution limit: a horizon is rounded up to
+whole slots, and the freshest slot is always partially filled.  That
+is the standard rolling-window trade (Prometheus ``rate()`` has the
+same property) and is harmless for thresholded rules.
+
+Both classes are lock-protected; serving handler threads write them
+concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+
+#: Default window shape: 60 seconds in 5-second slots.
+DEFAULT_WINDOW_S = 60.0
+DEFAULT_SLOTS = 12
+
+
+class _SlotRing:
+    """The shared rotation machinery: a ring of (slot index, payload).
+
+    Slot ``i`` covers clock seconds ``[i * slot_s, (i + 1) * slot_s)``.
+    A payload is live while its slot index is within ``slots`` of the
+    current one; anything older is expired lazily on access.
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        slots: int,
+        clock: Callable[[], float],
+        factory: Callable[[], object],
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.window_s = float(window_s)
+        self.slots = slots
+        self.slot_s = self.window_s / slots
+        self.clock = clock
+        self._factory = factory
+        #: position -> (slot index, payload); position = index % slots.
+        self._ring: list[Optional[tuple[int, object]]] = [None] * slots
+
+    def _index(self) -> int:
+        return int(self.clock() // self.slot_s)
+
+    def current(self) -> object:
+        """The payload of the current slot (created/reset as needed)."""
+        index = self._index()
+        position = index % self.slots
+        entry = self._ring[position]
+        if entry is None or entry[0] != index:
+            payload = self._factory()
+            self._ring[position] = (index, payload)
+            return payload
+        return entry[1]
+
+    def live(self, horizon_s: Optional[float] = None) -> Iterator[object]:
+        """Payloads of the newest ``horizon_s`` worth of slots.
+
+        ``None`` means the whole window.  The horizon rounds up to
+        whole slots and is capped at the window length.
+        """
+        now_index = self._index()
+        if horizon_s is None:
+            span = self.slots
+        else:
+            if horizon_s <= 0:
+                raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+            span = min(self.slots, max(1, math.ceil(horizon_s / self.slot_s)))
+        for entry in self._ring:
+            if entry is not None and now_index - span < entry[0] <= now_index:
+                yield entry[1]
+
+    def span_s(self, horizon_s: Optional[float] = None) -> float:
+        """The seconds actually covered by :meth:`live` for a horizon."""
+        if horizon_s is None:
+            return self.window_s
+        span = min(self.slots, max(1, math.ceil(horizon_s / self.slot_s)))
+        return span * self.slot_s
+
+
+class RollingCounter:
+    """A windowed counter: totals and per-second rates that age out."""
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        slots: int = DEFAULT_SLOTS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._ring = _SlotRing(window_s, slots, clock, lambda: [0.0])
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def add(self, value: float = 1.0) -> None:
+        with self._lock:
+            cell = self._ring.current()
+            cell[0] += value
+
+    def total(self, horizon_s: Optional[float] = None) -> float:
+        """Sum of additions within the horizon (default: whole window)."""
+        with self._lock:
+            return sum(cell[0] for cell in self._ring.live(horizon_s))
+
+    def rate_per_s(self, horizon_s: Optional[float] = None) -> float:
+        """Additions per second over the covered span."""
+        with self._lock:
+            total = sum(cell[0] for cell in self._ring.live(horizon_s))
+            span = self._ring.span_s(horizon_s)
+        return total / span if span > 0 else 0.0
+
+
+class RollingSketch:
+    """A windowed quantile sketch: one sub-sketch per slot, merged on read.
+
+    The merge is the exact bucket-wise :meth:`QuantileSketch.merge`, so
+    a windowed quantile is identical to a sketch fed only the window's
+    observations — rotation never distorts, it only expires.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        slots: int = DEFAULT_SLOTS,
+        clock: Callable[[], float] = time.monotonic,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ) -> None:
+        self.relative_accuracy = relative_accuracy
+        self._lock = threading.Lock()
+        self._ring = _SlotRing(
+            window_s,
+            slots,
+            clock,
+            lambda: QuantileSketch(relative_accuracy=relative_accuracy),
+        )
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._ring.current().observe(value)
+
+    def merged(self, horizon_s: Optional[float] = None) -> QuantileSketch:
+        """A fresh sketch of everything live within the horizon."""
+        merged = QuantileSketch(relative_accuracy=self.relative_accuracy)
+        with self._lock:
+            live = list(self._ring.live(horizon_s))
+        for sketch in live:
+            merged.merge(sketch)
+        return merged
+
+    def quantile(
+        self, fraction: float, horizon_s: Optional[float] = None
+    ) -> float:
+        return self.merged(horizon_s).quantile(fraction)
+
+    def count(self, horizon_s: Optional[float] = None) -> int:
+        with self._lock:
+            return sum(sketch.count for sketch in self._ring.live(horizon_s))
+
+    def summary(self, horizon_s: Optional[float] = None) -> dict:
+        """count/mean/min/max/p50/p95/p99 of the live observations."""
+        return self.merged(horizon_s).summary()

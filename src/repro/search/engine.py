@@ -13,6 +13,7 @@ from typing import Iterable, Optional
 
 from repro.model import ApplicationModel
 from repro.obs import NULL_RECORDER, QUERY_EVAL
+from repro.obs.reqtrace import current_request_trace
 from repro.search.index import InvertedFile
 from repro.search.query import Match, evaluate
 from repro.search.ranking import RankingWeights, ajaxrank, term_proximity
@@ -100,6 +101,9 @@ class SearchEngine:
                     terms=len(terms),
                     matches=len(matches),
                 )
+            trace = current_request_trace()
+            if trace is not None:
+                trace.annotate(terms=len(terms), matches=len(matches))
         return results[:limit] if limit is not None else results
 
     def result_count(self, query: str) -> int:

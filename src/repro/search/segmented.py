@@ -40,6 +40,7 @@ from typing import Iterable, Optional
 from repro.errors import SearchError
 from repro.model import ApplicationModel
 from repro.obs import COMPACTION, NULL_RECORDER, SEGMENT_FLUSH
+from repro.obs.reqtrace import current_request_trace
 from repro.search.memtable import Memtable
 from repro.search.postings import Posting, sort_postings
 from repro.search.segments import (
@@ -517,6 +518,13 @@ class SegmentedIndex:
             self.metrics.inc("index.blocks_decoded", stats.blocks_decoded)
             self.metrics.inc("index.blocks_skipped", stats.blocks_skipped)
             self.metrics.inc("index.postings_decoded", stats.postings_decoded)
+        trace = current_request_trace()
+        if trace is not None:
+            # Per-request read amplification for /debug/trace and the
+            # serving tier's live doctor.
+            trace.add_index_stats(
+                stats.blocks_decoded, stats.blocks_skipped, stats.postings_decoded
+            )
         return groups
 
     # -- introspection -----------------------------------------------------------

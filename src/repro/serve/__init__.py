@@ -10,7 +10,12 @@ end-to-end gate.
 """
 
 from repro.serve.cache import QueryCache
-from repro.serve.handlers import CLIENT_HEADER, SearchRequestHandler, make_handler
+from repro.serve.handlers import (
+    CLIENT_HEADER,
+    REQUEST_ID_HEADER,
+    SearchRequestHandler,
+    make_handler,
+)
 from repro.serve.limiter import RateDecision, TokenBucketLimiter
 from repro.serve.loadtest import (
     LoadTestConfig,
@@ -19,6 +24,14 @@ from repro.serve.loadtest import (
     run_loadtest,
 )
 from repro.serve.server import SearchServer
+from repro.serve.telemetry import (
+    DEFAULT_SLOS,
+    LiveDoctorConfig,
+    ServingTelemetry,
+    TelemetryConfig,
+    format_top,
+    sample_request,
+)
 from repro.serve.service import (
     BadRequest,
     NotFound,
@@ -44,6 +57,13 @@ __all__ = [
     "SearchRequestHandler",
     "make_handler",
     "CLIENT_HEADER",
+    "REQUEST_ID_HEADER",
+    "TelemetryConfig",
+    "ServingTelemetry",
+    "LiveDoctorConfig",
+    "DEFAULT_SLOS",
+    "sample_request",
+    "format_top",
     "LoadTestConfig",
     "LoadTestReport",
     "run_loadtest",

@@ -13,6 +13,15 @@ Endpoints::
     GET /result?uri=<uri>&state=<sN>             JSON replayed state
     GET /metrics                                 Prometheus text
     GET /healthz                                 JSON liveness probe
+    GET /debug/vars                              live windowed telemetry
+    GET /debug/slo                               SLO budgets + findings
+    GET /debug/slow                              recent slow-query log
+    GET /debug/trace?id=<req-id>                 one retained deep trace
+
+Every ``/search`` and ``/result`` response echoes ``X-Request-Id`` —
+the client's own id when it sent one, a server-assigned one otherwise —
+so a slow request spotted client-side can be looked up in
+``/debug/trace`` afterwards.
 
 Responses are HTTP/1.1 with exact ``Content-Length`` so keep-alive
 connections (the load-test workers) can pipeline requests.
@@ -31,6 +40,10 @@ from repro.serve.service import NotFound, RateLimited, SearchService, ServeError
 #: Header that names the rate-limiting principal (falls back to the
 #: peer address, which on loopback lumps all clients together).
 CLIENT_HEADER = "X-Client-Id"
+
+#: Request-id header, propagated inbound (client-assigned ids survive
+#: into the trace rings) and echoed on every search/result response.
+REQUEST_ID_HEADER = "X-Request-Id"
 
 
 class SearchRequestHandler(BaseHTTPRequestHandler):
@@ -52,25 +65,57 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             key: values[-1] for key, values in parse_qs(split.query).items()
         }
         client = self.headers.get(CLIENT_HEADER) or self.client_address[0]
+        request_id = self.headers.get(REQUEST_ID_HEADER) or ""
+        endpoint = split.path.lstrip("/")
+        if not request_id and self.service.telemetry is not None:
+            request_id = self.service.telemetry.next_request_id()
+        id_header = {REQUEST_ID_HEADER: request_id} if request_id else None
         try:
             if split.path == "/search":
                 self.service.admit(client)
-                self._send_json(200, self.service.search(params, client=client))
+                self._send_json(
+                    200,
+                    self.service.search(
+                        params, client=client, request_id=request_id or None
+                    ),
+                    extra_headers=id_header,
+                )
             elif split.path == "/result":
                 self.service.admit(client)
-                self._send_json(200, self.service.result(params, client=client))
+                self._send_json(
+                    200,
+                    self.service.result(
+                        params, client=client, request_id=request_id or None
+                    ),
+                    extra_headers=id_header,
+                )
             elif split.path == "/metrics":
                 self._send_text(200, self.service.metrics_text())
             elif split.path == "/healthz":
                 self._send_json(200, self.service.health())
+            elif split.path == "/debug/vars":
+                self._send_json(200, self.service.debug_vars())
+            elif split.path == "/debug/slo":
+                self._send_json(200, self.service.debug_slo())
+            elif split.path == "/debug/slow":
+                self._send_json(200, self.service.debug_slow())
+            elif split.path == "/debug/trace":
+                self._send_json(
+                    200, self.service.debug_trace(params.get("id", ""))
+                )
             else:
                 raise NotFound(f"no such endpoint {split.path!r}")
         except RateLimited as exc:
+            self.service.note_rate_limited(
+                endpoint, client, request_id or None
+            )
             retry_after = max(1, math.ceil(exc.retry_after_s))
+            headers = {"Retry-After": str(retry_after)}
+            headers.update(id_header or {})
             self._send_json(
                 exc.status,
                 {"error": str(exc), "status": exc.status, "retry_after_s": exc.retry_after_s},
-                extra_headers={"Retry-After": str(retry_after)},
+                extra_headers=headers,
             )
         except ServeError as exc:
             self._send_json(exc.status, {"error": str(exc), "status": exc.status})

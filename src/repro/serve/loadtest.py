@@ -6,7 +6,10 @@ previous response lands), walking a query workload round-robin from a
 per-worker offset — the Table 7.4 paper workload by default.  The
 report aggregates:
 
-* latency percentiles (p50/p95/p99, milliseconds, wall clock),
+* latency percentiles (p50/p95/p99, milliseconds, wall clock) from a
+  merged :class:`~repro.obs.sketch.QuantileSketch` — each worker feeds
+  its own sketch, so aggregation is O(buckets) instead of a global
+  sort, and the same estimator serves live telemetry and load reports,
 * throughput (completed requests / wall seconds),
 * cache hit rate (from the ``cached`` field of ``/search`` responses),
 * status histogram and rate-limit rejections (429s),
@@ -26,6 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 from urllib.parse import urlencode, urlsplit
+
+from repro.obs.sketch import QuantileSketch, merge_sketches
 
 
 @dataclass(frozen=True)
@@ -126,7 +131,7 @@ class _Worker(threading.Thread):
         self.port = port
         self.queries = queries
         self.config = config
-        self.latencies_ms: list[float] = []
+        self.latency_sketch = QuantileSketch()
         self.status_counts: dict[int, int] = {}
         self.cached = 0
         self.errors = 0
@@ -157,7 +162,7 @@ class _Worker(threading.Thread):
                     )
                     continue
                 elapsed_ms = (time.perf_counter() - start) * 1000.0
-                self.latencies_ms.append(elapsed_ms)
+                self.latency_sketch.observe(elapsed_ms)
                 status = response.status
                 self.status_counts[status] = self.status_counts.get(status, 0) + 1
                 if status == 200:
@@ -193,18 +198,16 @@ def run_loadtest(
     wall_s = time.perf_counter() - start
 
     report = LoadTestReport(wall_s=wall_s)
-    latencies: list[float] = []
     for worker in workers:
-        latencies.extend(worker.latencies_ms)
         report.errors += worker.errors
         report.cached_responses += worker.cached
         for status, count in worker.status_counts.items():
             report.status_counts[status] = report.status_counts.get(status, 0) + count
-    report.requests = len(latencies)
+    merged = merge_sketches([worker.latency_sketch for worker in workers])
+    report.requests = merged.count
     report.rate_limited = report.status_counts.get(429, 0)
-    latencies.sort()
-    report.p50_ms = percentile(latencies, 0.50)
-    report.p95_ms = percentile(latencies, 0.95)
-    report.p99_ms = percentile(latencies, 0.99)
-    report.mean_ms = sum(latencies) / len(latencies) if latencies else 0.0
+    report.p50_ms = merged.quantile(0.50)
+    report.p95_ms = merged.quantile(0.95)
+    report.p99_ms = merged.quantile(0.99)
+    report.mean_ms = merged.mean
     return report

@@ -36,10 +36,17 @@ from repro.clock import CostModel
 from repro.errors import CrawlerError, ReproError, SearchError
 from repro.model import ApplicationModel
 from repro.net.latency import LatencyDistribution, UniformJitter
-from repro.obs import NULL_RECORDER, SERVE_REQUEST, MetricsRegistry
+from repro.obs import (
+    NULL_RECORDER,
+    SERVE_REQUEST,
+    MetricsRegistry,
+    active_request,
+    current_request_trace,
+)
 from repro.search import ResultAggregator, SearchEngine
 from repro.serve.cache import QueryCache
 from repro.serve.limiter import TokenBucketLimiter
+from repro.serve.telemetry import ServingTelemetry, TelemetryConfig
 
 
 class ServeError(ReproError):
@@ -101,6 +108,10 @@ class ServeConfig:
     latency_distribution: LatencyDistribution = field(
         default_factory=lambda: UniformJitter(spread=0.2, seed=0x5EED)
     )
+    #: Live telemetry (rolling windows, sampled traces, SLO burn rates,
+    #: the /debug/* endpoints).  ``TelemetryConfig(enabled=False)``
+    #: restores the exact pre-telemetry serving path.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
 
 class SearchService:
@@ -149,6 +160,13 @@ class SearchService:
         # Replays share the site's server-side state; serialize them.
         self._replay_lock = threading.Lock()
         self._latency_lock = threading.Lock()
+        self.telemetry: Optional[ServingTelemetry] = (
+            ServingTelemetry(
+                config.telemetry, clock=clock, registry=self.registry
+            )
+            if config.telemetry.enabled
+            else None
+        )
 
     # -- admission / latency --------------------------------------------------------
 
@@ -179,13 +197,20 @@ class SearchService:
 
     # -- endpoints -------------------------------------------------------------------
 
-    def search(self, params: Mapping[str, str], client: str = "-") -> dict:
+    def search(
+        self,
+        params: Mapping[str, str],
+        client: str = "-",
+        request_id: Optional[str] = None,
+    ) -> dict:
         """Answer ``/search``: a JSON-able result page.
 
         ``params`` are the decoded query-string parameters (``q``,
         optional ``limit`` and ``offset``).
         """
-        return self._observed("search", client, lambda: self._search(params))
+        return self._observed(
+            "search", client, lambda: self._search(params), request_id
+        )
 
     def _search(self, params: Mapping[str, str]) -> dict:
         query = (params.get("q") or "").strip()
@@ -198,9 +223,16 @@ class SearchService:
             )
         offset = self._int_param(params, "offset", 0, 0)
         key = (query, limit, offset)
+        trace = current_request_trace()
+        if trace is not None:
+            trace.annotate(query=query, limit=limit, offset=offset)
         cached = self.cache.get(key)
         if cached is not None:
+            if trace is not None:
+                trace.annotate(cached=True)
             return dict(cached, cached=True)
+        if trace is not None:
+            trace.annotate(cached=False)
         self.inject_latency()
         try:
             results = self.engine.search(query)
@@ -226,9 +258,16 @@ class SearchService:
         self.cache.put(key, page)
         return dict(page, cached=False)
 
-    def result(self, params: Mapping[str, str], client: str = "-") -> dict:
+    def result(
+        self,
+        params: Mapping[str, str],
+        client: str = "-",
+        request_id: Optional[str] = None,
+    ) -> dict:
         """Answer ``/result``: materialize one hit state by event replay."""
-        return self._observed("result", client, lambda: self._result(params))
+        return self._observed(
+            "result", client, lambda: self._result(params), request_id
+        )
 
     def _result(self, params: Mapping[str, str]) -> dict:
         uri = (params.get("uri") or "").strip()
@@ -263,6 +302,46 @@ class SearchService:
         """The ``/metrics`` payload: Prometheus text exposition."""
         return self.registry.to_prometheus()
 
+    # -- live telemetry views ---------------------------------------------------------
+
+    def _require_telemetry(self) -> ServingTelemetry:
+        if self.telemetry is None:
+            raise NotFound("live telemetry is disabled on this server")
+        return self.telemetry
+
+    def note_rate_limited(
+        self, endpoint: str, client: str, request_id: Optional[str] = None
+    ) -> None:
+        """Book one 429 into the telemetry windows (the handler rejects
+        rate-limited requests before any endpoint body runs, so they
+        never pass through :meth:`_observed`)."""
+        if self.telemetry is not None:
+            self.telemetry.record_rejection(endpoint, client, request_id)
+
+    def debug_vars(self) -> dict:
+        """The ``/debug/vars`` payload: windowed rates and quantiles."""
+        return self._require_telemetry().vars()
+
+    def debug_slo(self) -> dict:
+        """The ``/debug/slo`` payload: budgets, burn rates, live findings."""
+        return self._require_telemetry().slo_status()
+
+    def debug_slow(self) -> dict:
+        """The ``/debug/slow`` payload: the recent slow-query log."""
+        return {"slow": self._require_telemetry().slow_queries()}
+
+    def debug_trace(self, request_id: str) -> dict:
+        """The ``/debug/trace?id=`` payload: one retained request trace."""
+        if not request_id:
+            raise BadRequest("parameter 'id' is required")
+        found = self._require_telemetry().trace(request_id)
+        if found is None:
+            raise NotFound(
+                f"no retained trace for {request_id!r} (not sampled, "
+                f"or already evicted from the ring)"
+            )
+        return found
+
     def health(self) -> dict:
         """The ``/healthz`` payload."""
         return {
@@ -274,13 +353,28 @@ class SearchService:
 
     # -- plumbing ---------------------------------------------------------------------
 
-    def _observed(self, endpoint: str, client: str, fn: Callable[[], dict]) -> dict:
+    def _observed(
+        self,
+        endpoint: str,
+        client: str,
+        fn: Callable[[], dict],
+        request_id: Optional[str] = None,
+    ) -> dict:
         """Run one endpoint body under a span, booking counters/latency."""
         start = self.clock()
         status = 200
+        trace = (
+            self.telemetry.begin(endpoint, client, request_id)
+            if self.telemetry is not None
+            else None
+        )
         try:
             with self.recorder.span("serve_request", endpoint=endpoint):
-                response = fn()
+                if trace is not None:
+                    with active_request(trace):
+                        response = fn()
+                else:
+                    response = fn()
         except ServeError as exc:
             status = exc.status
             raise
@@ -291,6 +385,8 @@ class SearchService:
             elapsed_ms = (self.clock() - start) * 1000.0
             self.registry.inc("serve.requests", endpoint=endpoint, status=status)
             self.registry.observe("serve.request_ms", elapsed_ms, endpoint=endpoint)
+            if trace is not None:
+                self.telemetry.finish(trace, status, elapsed_ms)
             if self.recorder.enabled:
                 self.recorder.emit(
                     SERVE_REQUEST,

@@ -1,0 +1,167 @@
+"""Text-exposition conformance, checked by an in-test stdlib parser.
+
+The container has no ``prometheus_client``, so the test implements the
+relevant slice of the text-format grammar itself (``# TYPE``/``# HELP``
+comments, ``name{labels} value`` samples, the ``NaN``/``+Inf``/``-Inf``
+value spellings) and audits every registry rendering against the rules
+a real scraper enforces:
+
+* every sample value parses as a float (this is the regression for the
+  non-finite crash: a gauge at ``inf`` used to abort the whole render);
+* every histogram exposes ``_bucket`` series with *cumulative*,
+  monotonically non-decreasing ``le`` counts;
+* the ``le="+Inf"`` bucket exists and equals ``_count``;
+* ``_sum`` and ``_count`` are present exactly once per label set and
+  appear after that label set's buckets;
+* each metric has exactly one ``# TYPE`` line, before its samples.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text: str) -> float:
+    """A scraper's value parser: the spec's spellings and floats only."""
+    if text == "NaN":
+        return math.nan
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises on anything non-conformant
+
+
+def parse_exposition(text: str):
+    """(types, samples): samples are (name, labels-dict, value) tuples."""
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ", 1)
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+        samples.append(
+            (match.group("name"), labels, parse_value(match.group("value")))
+        )
+    return types, samples
+
+
+def loaded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("serve.requests", 3, endpoint="search", status=200)
+    registry.inc("serve.requests", 1, endpoint="search", status=400)
+    registry.set_gauge("crawl.frontier", 17.0)
+    for value in (0.03, 0.2, 1.5, 40.0, 3000.0, 99999.0):
+        registry.observe("serve.request_ms", value, endpoint="search")
+        registry.observe("net.latency_ms", value)
+    return registry
+
+
+class TestConformance:
+    def test_every_line_parses(self):
+        types, samples = parse_exposition(loaded_registry().to_prometheus())
+        assert types["serve_requests"] == "counter"
+        assert types["crawl_frontier"] == "gauge"
+        assert types["serve_request_ms"] == "histogram"
+        assert samples
+
+    def test_nonfinite_values_render_per_spec(self):
+        # Regression: int(inf) raised, killing the whole /metrics body.
+        registry = MetricsRegistry()
+        registry.set_gauge("limits.max_ms", float("inf"))
+        registry.set_gauge("limits.min_ms", float("-inf"))
+        registry.set_gauge("limits.undefined", float("nan"))
+        registry.inc("ok.counter", 2)
+        types, samples = parse_exposition(registry.to_prometheus())
+        by_name = {name: value for name, _, value in samples}
+        assert by_name["limits_max_ms"] == math.inf
+        assert by_name["limits_min_ms"] == -math.inf
+        assert math.isnan(by_name["limits_undefined"])
+        assert by_name["ok_counter"] == 2.0
+
+    def test_histogram_buckets_are_cumulative_and_capped_by_inf(self):
+        text = loaded_registry().to_prometheus()
+        _, samples = parse_exposition(text)
+        for base in ("serve_request_ms", "net_latency_ms"):
+            buckets = [
+                (labels, value)
+                for name, labels, value in samples
+                if name == f"{base}_bucket"
+            ]
+            assert buckets, f"no buckets for {base}"
+            bounds = [parse_value(labels["le"]) for labels, _ in buckets]
+            counts = [value for _, value in buckets]
+            assert bounds == sorted(bounds), f"{base} le bounds not ascending"
+            assert bounds[-1] == math.inf, f"{base} lacks le=+Inf"
+            assert counts == sorted(counts), f"{base} buckets not cumulative"
+            count = next(
+                value for name, _, value in samples if name == f"{base}_count"
+            )
+            total = next(
+                value for name, _, value in samples if name == f"{base}_sum"
+            )
+            assert counts[-1] == count, f"{base} +Inf bucket != _count"
+            assert count == 6.0
+            assert total == pytest.approx(sum((0.03, 0.2, 1.5, 40.0, 3000.0, 99999.0)))
+
+    def test_sum_and_count_follow_their_buckets(self):
+        text = loaded_registry().to_prometheus()
+        lines = [line for line in text.splitlines() if line.startswith("serve_request_ms")]
+        # All buckets first, then _sum, then _count — per label set.
+        kinds = [
+            "bucket" if "_bucket" in line else "sum" if "_sum" in line else "count"
+            for line in lines
+        ]
+        assert kinds == ["bucket"] * (len(kinds) - 2) + ["sum", "count"]
+
+    def test_type_precedes_samples(self):
+        text = loaded_registry().to_prometheus()
+        seen_type: set[str] = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                seen_type.add(line.split(" ")[2])
+            elif line and not line.startswith("#"):
+                name = SAMPLE_RE.match(line).group("name")
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in seen_type or base in seen_type, (
+                    f"sample {name} before its TYPE line"
+                )
+
+    def test_serving_latency_buckets_resolve_sub_ms(self):
+        # The per-metric bounds registry must give serve.request_ms its
+        # sub-millisecond buckets while net.latency_ms keeps defaults.
+        registry = loaded_registry()
+        _, samples = parse_exposition(registry.to_prometheus())
+        serve_bounds = {
+            parse_value(labels["le"])
+            for name, labels, _ in samples
+            if name == "serve_request_ms_bucket"
+        }
+        net_bounds = {
+            parse_value(labels["le"])
+            for name, labels, _ in samples
+            if name == "net_latency_ms_bucket"
+        }
+        assert 0.05 in serve_bounds and 0.25 in serve_bounds
+        assert 0.05 not in net_bounds
+        assert min(net_bounds) == 1.0

@@ -1,0 +1,133 @@
+"""SLO accounting: budgets, burn rates, multi-window rule firing."""
+
+import pytest
+
+from repro.obs.slo import (
+    BURN_RATE_RULE,
+    DEFAULT_BURN_RULES,
+    SLO,
+    BurnRateRule,
+    SLOTracker,
+    burn_rate,
+)
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSLO:
+    def test_budget_is_complement_of_objective(self):
+        assert SLO("a", objective=0.999).budget == pytest.approx(0.001)
+
+    def test_availability_slo_counts_failures(self):
+        slo = SLO("availability", objective=0.99)
+        assert not slo.is_bad(ok=True, latency_ms=10_000.0)
+        assert slo.is_bad(ok=False, latency_ms=0.1)
+
+    def test_latency_slo_counts_slow_requests(self):
+        slo = SLO("latency", objective=0.99, latency_ms=250.0)
+        assert not slo.is_bad(ok=True, latency_ms=250.0)
+        assert slo.is_bad(ok=True, latency_ms=250.1)
+        # A fast failure does not spend a *latency* budget.
+        assert not slo.is_bad(ok=False, latency_ms=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO("x", objective=1.0)
+        with pytest.raises(ValueError):
+            SLO("x", objective=-0.1)
+        with pytest.raises(ValueError):
+            SLO("x", window_s=0.0)
+        with pytest.raises(ValueError):
+            SLO("x", latency_ms=0.0)
+
+
+class TestBurnRate:
+    def test_burn_one_spends_exactly_the_budget(self):
+        assert burn_rate(1.0, 1000.0, 0.999) == pytest.approx(1.0)
+
+    def test_all_bad_is_inverse_budget(self):
+        assert burn_rate(10.0, 10.0, 0.999) == pytest.approx(1000.0)
+
+    def test_empty_horizon_burns_nothing(self):
+        assert burn_rate(0.0, 0.0, 0.999) == 0.0
+
+
+class TestSLOTracker:
+    def tracker(self, **kwargs):
+        clock = Clock(1000.0)
+        slo = SLO(
+            "availability",
+            objective=kwargs.pop("objective", 0.999),
+            window_s=kwargs.pop("window_s", 3600.0),
+        )
+        return SLOTracker(slo, clock=clock, **kwargs), clock
+
+    def test_healthy_stream_yields_no_findings(self):
+        tracker, clock = self.tracker()
+        for _ in range(100):
+            tracker.record(ok=True, latency_ms=1.0)
+            clock.advance(1.0)
+        assert tracker.burn() == 0.0
+        assert tracker.findings() == []
+        status = tracker.status()
+        assert status["bad"] == 0.0
+        assert status["budget_spent"] == 0.0
+
+    def test_outage_fires_both_default_rules(self):
+        tracker, clock = self.tracker()
+        for _ in range(50):
+            tracker.record(ok=False, latency_ms=1.0)
+            clock.advance(1.0)
+        findings = tracker.findings()
+        assert len(findings) == len(DEFAULT_BURN_RULES)
+        assert {f.rule for f in findings} == {BURN_RATE_RULE}
+        assert {f.severity for f in findings} == {"critical", "warning"}
+        assert all(f.signal >= f.threshold for f in findings)
+        assert findings[0].evidence["slo"] == "availability"
+
+    def test_min_requests_suppresses_noise(self):
+        tracker, clock = self.tracker()
+        for _ in range(5):  # below the min_requests=10 floor
+            tracker.record(ok=False, latency_ms=1.0)
+            clock.advance(1.0)
+        assert tracker.findings() == []
+
+    def test_recovered_outage_stops_firing_when_short_horizon_clears(self):
+        rules = (BurnRateRule(long_s=3600.0, short_s=300.0, max_burn=14.4),)
+        tracker, clock = self.tracker(rules=rules)
+        for _ in range(50):
+            tracker.record(ok=False, latency_ms=1.0)
+            clock.advance(1.0)
+        assert tracker.findings()
+        # Recover: 10 minutes of healthy traffic pushes the bad requests
+        # out of the short horizon (but not the 1 h long horizon).
+        for _ in range(600):
+            tracker.record(ok=True, latency_ms=1.0)
+            clock.advance(1.0)
+        assert tracker.findings() == []
+        assert tracker.burn(3600.0) > 1.0  # long horizon still remembers
+
+    def test_status_reports_burn_per_rule(self):
+        tracker, clock = self.tracker()
+        tracker.record(ok=False, latency_ms=1.0)
+        status = tracker.status()
+        assert status["kind"] == "availability"
+        assert len(status["burn"]) == len(DEFAULT_BURN_RULES)
+        for block in status["burn"].values():
+            assert {"short", "long", "max_burn"} <= set(block)
+
+    def test_budget_spent_crosses_one_when_budget_exhausted(self):
+        tracker, clock = self.tracker(objective=0.9)
+        for index in range(100):
+            tracker.record(ok=index < 80, latency_ms=1.0)
+        # 20 bad of 100 with a 10% budget: spent twice over.
+        assert tracker.status()["budget_spent"] == pytest.approx(2.0)

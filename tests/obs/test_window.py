@@ -1,0 +1,155 @@
+"""Rolling windows on a virtual clock: rotation, expiry, horizons.
+
+The hypothesis property drives a random schedule of (advance, add)
+steps and checks the windowed total against a brute-force recomputation
+from the event log — the ring must behave exactly like "sum of events
+whose slot is still live", for any horizon.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.window import RollingCounter, RollingSketch, _SlotRing
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def brute_force_total(events, now, window_s, slots, horizon_s=None):
+    """What the ring must report: sum of events in still-live slots."""
+    slot_s = window_s / slots
+    now_index = int(now // slot_s)
+    if horizon_s is None:
+        span = slots
+    else:
+        import math
+
+        span = min(slots, max(1, math.ceil(horizon_s / slot_s)))
+    total = 0.0
+    for at, value in events:
+        index = int(at // slot_s)
+        if now_index - span < index <= now_index:
+            total += value
+    return total
+
+
+class TestRollingCounter:
+    def test_counts_within_window(self):
+        clock = Clock()
+        counter = RollingCounter(window_s=60.0, slots=12, clock=clock)
+        counter.add(5.0)
+        clock.advance(30.0)
+        counter.add(7.0)
+        assert counter.total() == 12.0
+        assert counter.rate_per_s() == pytest.approx(12.0 / 60.0)
+
+    def test_old_slots_expire(self):
+        clock = Clock()
+        counter = RollingCounter(window_s=60.0, slots=12, clock=clock)
+        counter.add(5.0)
+        clock.advance(61.0)
+        assert counter.total() == 0.0
+        counter.add(3.0)
+        assert counter.total() == 3.0
+
+    def test_slot_reuse_resets_stale_payload(self):
+        # Advancing exactly one full window lands on the same ring
+        # position with a different slot index: the old count must not
+        # bleed through.
+        clock = Clock()
+        counter = RollingCounter(window_s=60.0, slots=12, clock=clock)
+        counter.add(5.0)
+        clock.advance(60.0)
+        counter.add(1.0)
+        assert counter.total() == 1.0
+
+    def test_horizon_narrows_the_read(self):
+        clock = Clock()
+        counter = RollingCounter(window_s=60.0, slots=12, clock=clock)
+        counter.add(10.0)  # slot [0, 5)
+        clock.advance(30.0)
+        counter.add(1.0)  # slot [30, 35)
+        assert counter.total() == 11.0
+        assert counter.total(horizon_s=5.0) == 1.0
+        assert counter.rate_per_s(horizon_s=5.0) == pytest.approx(1.0 / 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingCounter(window_s=0.0)
+        with pytest.raises(ValueError):
+            RollingCounter(slots=0)
+        counter = RollingCounter(clock=Clock())
+        with pytest.raises(ValueError):
+            counter.total(horizon_s=0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=40.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            max_size=60,
+        ),
+        st.sampled_from([None, 5.0, 13.0, 30.0, 60.0, 120.0]),
+    )
+    @settings(max_examples=150)
+    def test_total_matches_brute_force(self, steps, horizon_s):
+        clock = Clock()
+        counter = RollingCounter(window_s=60.0, slots=12, clock=clock)
+        events = []
+        for advance, value in steps:
+            clock.advance(advance)
+            counter.add(value)
+            events.append((clock.now, value))
+        expected = brute_force_total(
+            events, clock.now, 60.0, 12, horizon_s
+        )
+        assert counter.total(horizon_s) == pytest.approx(expected)
+
+
+class TestRollingSketch:
+    def test_windowed_quantile_equals_fresh_sketch(self):
+        clock = Clock()
+        rolling = RollingSketch(window_s=60.0, slots=12, clock=clock)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            rolling.observe(value)
+            clock.advance(10.0)
+        # The first observation (t=0) has expired only after t >= 60.
+        assert rolling.count() == 4
+        clock.advance(25.0)  # now 65: slot [0,5) is out
+        assert rolling.count() == 3
+        merged = rolling.merged()
+        assert merged.min == 2.0
+
+    def test_summary_shape(self):
+        rolling = RollingSketch(clock=Clock())
+        rolling.observe(5.0)
+        summary = rolling.summary()
+        assert summary["count"] == 1
+        assert set(summary) >= {"p50", "p95", "p99", "mean", "min", "max"}
+
+    def test_expiry_empties_the_window(self):
+        clock = Clock()
+        rolling = RollingSketch(window_s=10.0, slots=5, clock=clock)
+        rolling.observe(42.0)
+        clock.advance(11.0)
+        assert rolling.count() == 0
+        assert rolling.quantile(0.5) == 0.0
+
+
+class TestSlotRing:
+    def test_span_s_rounds_up_to_whole_slots(self):
+        ring = _SlotRing(60.0, 12, Clock(), list)
+        assert ring.span_s(None) == 60.0
+        assert ring.span_s(1.0) == 5.0
+        assert ring.span_s(5.0) == 5.0
+        assert ring.span_s(6.0) == 10.0
+        assert ring.span_s(1000.0) == 60.0

@@ -1,11 +1,11 @@
-"""CLI surface tests for ``repro-ajax serve`` and ``repro-ajax loadtest``."""
+"""CLI surface tests for ``repro-ajax serve``, ``loadtest`` and ``top``."""
 
 import json
 
 import pytest
 
 from repro.cli import main
-from repro.serve import SearchServer, SearchService
+from repro.serve import SearchServer, SearchService, ServeConfig, TelemetryConfig
 
 
 class TestServeArgs:
@@ -69,3 +69,34 @@ class TestLoadtestCommand:
         captured = capsys.readouterr().out
         assert "req/s" in captured
         assert "report written" in captured
+
+
+class TestTopCommand:
+    def test_top_renders_live_vars(self, engine, capsys):
+        config = ServeConfig(telemetry=TelemetryConfig())
+        with SearchServer(SearchService(engine, config)) as server:
+            server.service.search({"q": "morcheeba"})
+            server.service.search({"q": "morcheeba"})
+            code = main(
+                ["top", "--url", server.url, "--iterations", "1"]
+            )
+        assert code == 0
+        screen = capsys.readouterr().out
+        assert "repro-ajax top" in screen
+        assert "search" in screen
+        assert "hit rate" in screen
+
+    def test_top_fails_cleanly_when_server_is_gone(self, capsys):
+        code = main(
+            ["top", "--url", "http://127.0.0.1:1", "--iterations", "1",
+             "--timeout", "0.5"]
+        )
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_top_fails_cleanly_when_telemetry_disabled(self, engine, capsys):
+        config = ServeConfig(telemetry=TelemetryConfig(enabled=False))
+        with SearchServer(SearchService(engine, config)) as server:
+            code = main(["top", "--url", server.url, "--iterations", "1"])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,7 @@
+"""The make obs-live-smoke gate, at test size."""
+
+
+def test_live_smoke_passes():
+    from repro.serve.live_smoke import run_smoke
+
+    assert run_smoke(verbose=False) == 0

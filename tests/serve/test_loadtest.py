@@ -1,7 +1,10 @@
 """Tests for the closed-loop load-test harness."""
 
+import random
+
 import pytest
 
+from repro.obs.sketch import QuantileSketch, merge_sketches
 from repro.serve import (
     LoadTestConfig,
     SearchServer,
@@ -29,6 +32,28 @@ class TestPercentile:
     def test_bad_fraction(self):
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+
+
+class TestSketchEstimator:
+    """The report's percentiles now come from per-worker sketches; the
+    estimator must stay within the sketch's relative-error bound of the
+    exact nearest-rank values the old sort-based path reported."""
+
+    def test_merged_worker_sketches_match_exact_percentiles(self):
+        rng = random.Random(7)
+        latencies = [rng.lognormvariate(1.0, 1.2) for _ in range(5000)]
+        # Round-robin across 4 "workers", like run_loadtest does.
+        sketches = [QuantileSketch() for _ in range(4)]
+        for index, value in enumerate(latencies):
+            sketches[index % 4].observe(value)
+        merged = merge_sketches(sketches)
+        exact = sorted(latencies)
+        for fraction in (0.5, 0.95, 0.99):
+            truth = percentile(exact, fraction)
+            estimate = merged.quantile(fraction)
+            assert abs(estimate - truth) <= merged.relative_accuracy * truth
+        assert merged.count == len(latencies)
+        assert merged.mean == pytest.approx(sum(latencies) / len(latencies))
 
 
 class TestRunLoadtest:

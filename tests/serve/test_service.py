@@ -332,3 +332,45 @@ def test_unexpected_engine_failure_counts_as_500(models, fake_clock):
     assert service.registry.counter(
         "serve.requests", endpoint="search", status=500
     ) == 1
+
+
+class TestServingLatencyBuckets:
+    """serve.request_ms must use the sub-millisecond serving bounds, not
+    the generic 1ms-floor defaults that collapsed every cache hit into
+    the first bucket."""
+
+    def test_service_histogram_uses_serving_bounds(self, engine):
+        from repro.obs import SERVE_LATENCY_BUCKETS
+
+        service = SearchService(engine)
+        service.search({"q": "morcheeba"})
+        histogram = service.registry.histogram(
+            "serve.request_ms", endpoint="search"
+        )
+        assert histogram.bounds == SERVE_LATENCY_BUCKETS
+        assert histogram.bounds[0] == 0.05
+
+    def test_sub_ms_cache_hits_resolve_across_buckets(self):
+        from repro.obs import MetricsRegistry, SERVE_LATENCY_BUCKETS
+
+        registry = MetricsRegistry()
+        # A 30µs cache hit, a 400µs miss, a 300ms replay: with the old
+        # 1ms-floor bounds all three of these landed in bucket 0.
+        for value in (0.03, 0.4, 300.0):
+            registry.observe("serve.request_ms", value, endpoint="search")
+        histogram = registry.histogram("serve.request_ms", endpoint="search")
+        occupied = [
+            bound
+            for bound, count in zip(histogram.bounds, histogram.bucket_counts)
+            if count
+        ]
+        assert len(occupied) == 3
+        assert occupied[0] < 1.0  # the cache hit resolved below 1ms
+        assert histogram.bucket_counts[0] == 1  # and only it is in bucket 0
+
+    def test_other_histograms_keep_default_bounds(self):
+        from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.observe("net.latency_ms", 3.0)
+        assert registry.histogram("net.latency_ms").bounds == DEFAULT_BUCKETS

@@ -1,0 +1,204 @@
+"""Unit tests for the live serving telemetry (virtual clock, no HTTP)."""
+
+import pytest
+
+from repro.obs.reqtrace import RequestTrace
+from repro.obs.slo import BURN_RATE_RULE, SLO
+from repro.serve.telemetry import (
+    DEFAULT_SLOS,
+    LiveDoctorConfig,
+    ServingTelemetry,
+    TelemetryConfig,
+    format_top,
+    sample_request,
+)
+
+from tests.serve.conftest import FakeClock
+
+
+def telemetry(**overrides) -> tuple[ServingTelemetry, FakeClock]:
+    clock = FakeClock(1000.0)
+    config = TelemetryConfig(**overrides)
+    return ServingTelemetry(config, clock=clock), clock
+
+
+def finish_one(
+    tel,
+    endpoint="search",
+    status=200,
+    duration_ms=1.0,
+    request_id=None,
+    **fields,
+):
+    trace = tel.begin(endpoint, "client", request_id)
+    if fields:
+        trace.annotate(**fields)
+    tel.finish(trace, status, duration_ms)
+    return trace
+
+
+class TestSampling:
+    def test_deterministic_and_roughly_one_in_n(self):
+        decisions = [sample_request(f"req-{i:08d}", 16) for i in range(1600)]
+        assert decisions == [sample_request(f"req-{i:08d}", 16) for i in range(1600)]
+        sampled = sum(decisions)
+        assert 50 <= sampled <= 150  # ~100 expected
+
+    def test_sample_every_one_keeps_everything(self):
+        assert all(sample_request(f"r{i}", 1) for i in range(20))
+
+    def test_next_request_id_is_sequential(self):
+        tel, _ = telemetry()
+        assert tel.next_request_id() == "req-00000001"
+        assert tel.next_request_id() == "req-00000002"
+
+
+class TestWindowsAndVars:
+    def test_requests_and_latency_are_booked_per_endpoint(self):
+        tel, clock = telemetry()
+        for duration in (1.0, 2.0, 3.0):
+            finish_one(tel, duration_ms=duration)
+            clock.advance(1.0)
+        finish_one(tel, endpoint="result", status=500, duration_ms=50.0)
+        data = tel.vars()
+        search = data["endpoints"]["search"]
+        assert search["requests"] == 3.0
+        assert search["errors"] == 0.0
+        assert search["latency_ms"]["count"] == 3
+        result = data["endpoints"]["result"]
+        assert result["errors"] == 1.0
+        assert data["lifetime_latency_ms"]["count"] == 4
+        assert data["admissions"]["requests"] == 4.0
+
+    def test_cache_and_index_accounting(self):
+        tel, _ = telemetry()
+        finish_one(tel, cached=True)
+        finish_one(tel, cached=False)
+        trace = tel.begin("search", "c")
+        trace.annotate(cached=False)
+        trace.add_index_stats(10, 30, 500)
+        tel.finish(trace, 200, 1.0)
+        data = tel.vars()
+        assert data["cache"]["hits"] == 1.0
+        assert data["cache"]["misses"] == 2.0
+        assert data["index"]["blocks_decoded"] == 10.0
+        assert data["index"]["blocks_skipped"] == 30.0
+        assert data["index"]["decode_fraction"] == pytest.approx(0.25)
+
+    def test_windows_expire_on_the_clock(self):
+        tel, clock = telemetry(window_s=60.0)
+        finish_one(tel)
+        clock.advance(61.0)
+        data = tel.vars()
+        assert data["endpoints"]["search"]["requests"] == 0.0
+
+
+class TestTraceRetention:
+    def test_sampled_ring_keeps_and_evicts_lru(self):
+        tel, _ = telemetry(sample_every=1, trace_capacity=3)
+        for index in range(5):
+            finish_one(tel, request_id=f"r-{index}")
+        assert tel.trace("r-0") is None
+        assert tel.trace("r-4")["request_id"] == "r-4"
+        assert tel.vars()["traces"]["sampled"] == 3
+
+    def test_tail_always_retains_slow_and_error_requests(self):
+        # sample_every huge: nothing is hash-sampled, so retention must
+        # come from the tail ring alone.
+        tel, _ = telemetry(sample_every=10**6, slow_ms=100.0)
+        finish_one(tel, request_id="fast", duration_ms=1.0)
+        finish_one(tel, request_id="slow", duration_ms=150.0)
+        finish_one(tel, request_id="boom", status=502, duration_ms=1.0)
+        assert tel.trace("fast") is None
+        assert tel.trace("slow")["duration_ms"] == 150.0
+        assert tel.trace("boom")["status"] == 502
+
+    def test_slowlog_is_newest_first_and_bounded(self):
+        tel, _ = telemetry(slow_ms=10.0, slowlog_capacity=2)
+        for index in range(4):
+            finish_one(
+                tel, request_id=f"s-{index}", duration_ms=20.0, query=f"q{index}"
+            )
+        slow = tel.slow_queries()
+        assert [entry["request_id"] for entry in slow] == ["s-3", "s-2"]
+        assert slow[0]["query"] == "q3"
+
+    def test_trace_includes_index_stats(self):
+        tel, _ = telemetry(sample_every=1)
+        trace = tel.begin("search", "c", "rid")
+        trace.add_index_stats(4, 12, 100)
+        tel.finish(trace, 200, 1.0)
+        found = tel.trace("rid")
+        assert found["index"]["decode_fraction"] == pytest.approx(0.25)
+
+
+class TestLiveDoctor:
+    def test_healthy_traffic_yields_no_findings(self):
+        tel, clock = telemetry()
+        for index in range(30):
+            finish_one(tel, duration_ms=1.0, cached=index % 2 == 0)
+            clock.advance(0.5)
+        assert tel.diagnose() == []
+        assert tel.slo_status()["findings"] == []
+
+    def test_cache_collapse_fires_below_hit_rate_floor(self):
+        tel, _ = telemetry()
+        for _ in range(25):
+            finish_one(tel, cached=False)
+        rules = {f.rule for f in tel.diagnose()}
+        assert "serve-cache-collapse" in rules
+
+    def test_throttle_storm_fires_on_429_share(self):
+        tel, _ = telemetry()
+        for _ in range(10):
+            finish_one(tel)
+        for _ in range(10):
+            tel.record_rejection("search", "noisy")
+        findings = {f.rule: f for f in tel.diagnose()}
+        assert "throttle-storm" in findings
+        assert findings["throttle-storm"].signal == pytest.approx(0.5)
+
+    def test_read_amplification_fires_when_skipping_disengages(self):
+        tel, _ = telemetry()
+        trace = tel.begin("search", "c")
+        trace.add_index_stats(300, 100, 5000)
+        tel.finish(trace, 200, 1.0)
+        rules = {f.rule for f in tel.diagnose()}
+        assert "segment-read-amplification" in rules
+
+    def test_burn_rate_findings_flow_through(self):
+        tel, clock = telemetry(
+            slos=(SLO("availability", objective=0.999),),
+        )
+        for _ in range(20):
+            finish_one(tel, status=500)
+            clock.advance(1.0)
+        rules = [f.rule for f in tel.diagnose()]
+        assert BURN_RATE_RULE in rules
+
+    def test_slo_status_lists_every_configured_objective(self):
+        tel, _ = telemetry()
+        names = [entry["name"] for entry in tel.slo_status()["slos"]]
+        assert names == [slo.name for slo in DEFAULT_SLOS]
+
+    def test_doctor_thresholds_are_configurable(self):
+        tel, _ = telemetry(doctor=LiveDoctorConfig(cache_min_lookups=5))
+        for _ in range(6):
+            finish_one(tel, cached=False)
+        assert any(f.rule == "serve-cache-collapse" for f in tel.diagnose())
+
+
+class TestFormatTop:
+    def test_renders_endpoints_and_rates(self):
+        tel, _ = telemetry()
+        finish_one(tel, duration_ms=3.0, cached=True)
+        finish_one(tel, endpoint="result", duration_ms=8.0)
+        screen = format_top(tel.vars())
+        assert "repro-ajax top" in screen
+        assert "search" in screen and "result" in screen
+        assert "hit rate" in screen
+        assert "slo budget spent" in screen
+
+    def test_renders_empty_vars(self):
+        tel, _ = telemetry()
+        assert "repro-ajax top" in format_top(tel.vars())
