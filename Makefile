@@ -8,10 +8,10 @@ export PYTHONPATH
 
 .PHONY: check test test-fast coverage bench-faults bench-smoke bench \
 	trace-verify trace-regen profile-smoke testgen-smoke serve-smoke \
-	obs-live-smoke bench-serving bench-parallel bench-index
+	obs-live-smoke bench-serving bench-parallel bench-index bench-dedup
 
-check: test bench-faults bench-smoke bench-index trace-verify profile-smoke \
-	testgen-smoke serve-smoke obs-live-smoke
+check: test bench-faults bench-smoke bench-index bench-dedup trace-verify \
+	profile-smoke testgen-smoke serve-smoke obs-live-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -84,6 +84,14 @@ bench-smoke:
 # differential check itself runs inside testgen-smoke.
 bench-index:
 	$(PYTHON) -m pytest benchmarks/bench_index.py -q --benchmark-disable
+
+# Near-duplicate collapse gate: crawls the noisy-twin corpus with the
+# banded-LSH layer off and on, and enforces the >=2x states-crawled/
+# indexed floors with zero false merges (writes
+# benchmarks/results/BENCH_dedup.json).  The near_dup_parity
+# differential check itself runs inside testgen-smoke.
+bench-dedup:
+	$(PYTHON) -m pytest benchmarks/bench_dedup.py -q --benchmark-disable
 
 # Generator-harness throughput gate (writes
 # benchmarks/results/BENCH_testgen.json).

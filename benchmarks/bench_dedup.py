@@ -1,0 +1,224 @@
+"""Near-duplicate collapse benchmark: crawl-cost reduction on noisy twins.
+
+Crawls a cycle-rich noisy-twin corpus (every fragment carries a
+per-request volatile region, the youtube-style failure mode of exact
+state identity) twice under identical crawl limits — once with
+``near_dup_threshold`` unset, once with the banded-LSH collapse layer
+on — and enforces the PR's acceptance floors:
+
+* **>= 2x fewer states** crawled and indexed with collapse on (the
+  exact-identity crawl unrolls the transition graph to the 3x state
+  cap; the collapsed crawl recovers exactly the logical states);
+* **>= 1.5x fewer events fired** and hash passes run (collapsed states
+  are never re-explored);
+* **zero false merges**: every collapsed model is marker-verified to
+  be a bijection onto its spec page's logical states;
+* the collapsed index answers every marker query with exactly one
+  state (no twin fragmentation), and is >= 2x smaller in postings.
+
+Results are persisted as ``benchmarks/results/BENCH_dedup.json``.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.clock import CostModel, SimClock
+from repro.crawler import AjaxCrawler, CrawlerConfig
+from repro.search import SearchEngine, SegmentedIndex
+from repro.testgen.conformance import recover_graph
+from repro.testgen.noisy import (
+    NEAR_DUP_THRESHOLD,
+    NoisyGeneratedSite,
+    generate_noisy_site,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent / "results" / "BENCH_dedup.json"
+
+#: Corpus: seeds disjoint from the conformance corpus (0..49), two
+#: pages each, extra back/cross edges so the exact-identity unrolling
+#: cycles into the state cap.
+CORPUS_SEEDS = tuple(range(101, 109))
+NUM_PAGES = 2
+EXTRA_EDGES = 6
+#: State cap per page, as a multiple of the largest logical page.
+CAP_FACTOR = 3
+
+#: Acceptance floors (corpus aggregate; measured ~2.4x states, ~2.3x
+#: events on this pinned corpus — regressions show up well below).
+MIN_STATES_RATIO = 2.0
+MIN_INDEXED_RATIO = 2.0
+MIN_EVENTS_RATIO = 1.5
+MIN_HASH_PASS_RATIO = 1.5
+MIN_POSTINGS_RATIO = 2.0
+
+
+def _config(spec, threshold):
+    max_page_states = max(page.num_states for page in spec.pages)
+    return CrawlerConfig(
+        max_additional_states=CAP_FACTOR * max_page_states - 1,
+        use_hot_node=False,
+        max_event_invocations=10_000,
+        near_dup_threshold=threshold,
+    )
+
+
+def _crawl(spec, threshold):
+    crawler = AjaxCrawler(
+        NoisyGeneratedSite(spec),
+        _config(spec, threshold),
+        clock=SimClock(),
+        cost_model=CostModel(network_jitter=0.0),
+    )
+    return crawler.crawl(spec.all_urls())
+
+
+def _hash_passes(report):
+    return sum(
+        page.hash_full_passes + page.hash_incremental_passes
+        for page in report.pages
+    )
+
+
+def dedup_study():
+    specs = [
+        generate_noisy_site(
+            seed,
+            num_pages=NUM_PAGES,
+            extra_edges=EXTRA_EDGES,
+            base_url=f"http://noisy{seed}.test",
+        )
+        for seed in CORPUS_SEEDS
+    ]
+    totals = {
+        mode: {"states": 0, "events": 0, "ajax_calls": 0, "hash_passes": 0}
+        for mode in ("off", "on")
+    }
+    models = {"off": [], "on": []}
+    false_merges = 0
+    missed_twins = 0
+    collapses = 0
+    logical_states = 0
+    for spec in specs:
+        for mode, threshold in (("off", None), ("on", NEAR_DUP_THRESHOLD)):
+            crawl = _crawl(spec, threshold)
+            report = crawl.report
+            totals[mode]["states"] += report.total_states
+            totals[mode]["events"] += report.total_events
+            totals[mode]["ajax_calls"] += report.total_ajax_calls
+            totals[mode]["hash_passes"] += _hash_passes(report)
+            models[mode].extend(crawl.models)
+            if mode == "on":
+                collapses += report.total_states_collapsed
+                for page, model in zip(spec.pages, crawl.models):
+                    logical_states += page.num_states
+                    recovered = recover_graph(page, model)
+                    distinct = len(set(recovered.mapping.values()))
+                    # Fewer distinct spec states than model states means
+                    # two logical states shared a canonical: a false
+                    # merge.  More logical states than model states
+                    # means a twin escaped collapse.
+                    false_merges += model.num_states - distinct
+                    missed_twins += page.num_states - distinct
+
+    # -- index both corpora: the canonical states are what gets indexed ----
+    index_stats = {}
+    marker_fragmentation = 0
+    with tempfile.TemporaryDirectory(prefix="bench-dedup-") as scratch:
+        for mode in ("off", "on"):
+            index = SegmentedIndex(f"{scratch}/{mode}").build(models[mode])
+            stats = index.stats()
+            index_stats[mode] = {
+                "states": len(index.states()),
+                "postings": stats["num_postings"],
+                "bytes": stats["num_bytes"],
+            }
+            index.close()
+        engine = SearchEngine.build(models["on"])
+        for spec in specs:
+            for page in spec.pages:
+                for marker in page.markers:
+                    if engine.result_count(marker) != 1:
+                        marker_fragmentation += 1
+
+    def ratio(quantity):
+        return totals["off"][quantity] / max(1, totals["on"][quantity])
+
+    report = {
+        "corpus": {
+            "seeds": list(CORPUS_SEEDS),
+            "num_pages": NUM_PAGES,
+            "extra_edges": EXTRA_EDGES,
+            "cap_factor": CAP_FACTOR,
+            "logical_states": logical_states,
+            "near_dup_threshold": NEAR_DUP_THRESHOLD,
+        },
+        "crawl": {
+            "off": totals["off"],
+            "on": totals["on"],
+            "states_ratio": ratio("states"),
+            "events_ratio": ratio("events"),
+            "ajax_calls_ratio": ratio("ajax_calls"),
+            "hash_passes_ratio": ratio("hash_passes"),
+            "states_collapsed": collapses,
+        },
+        "index": {
+            "off": index_stats["off"],
+            "on": index_stats["on"],
+            "states_ratio": index_stats["off"]["states"]
+            / max(1, index_stats["on"]["states"]),
+            "postings_ratio": index_stats["off"]["postings"]
+            / max(1, index_stats["on"]["postings"]),
+            "bytes_ratio": index_stats["off"]["bytes"]
+            / max(1, index_stats["on"]["bytes"]),
+        },
+        "correctness": {
+            "false_merges": false_merges,
+            "missed_twins": missed_twins,
+            "fragmented_markers": marker_fragmentation,
+        },
+        "thresholds": {
+            "min_states_ratio": MIN_STATES_RATIO,
+            "min_indexed_ratio": MIN_INDEXED_RATIO,
+            "min_events_ratio": MIN_EVENTS_RATIO,
+            "min_hash_pass_ratio": MIN_HASH_PASS_RATIO,
+            "min_postings_ratio": MIN_POSTINGS_RATIO,
+        },
+    }
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_dedup_benchmark(benchmark):
+    report = benchmark.pedantic(dedup_study, rounds=1, iterations=1)
+    crawl = report["crawl"]
+    index = report["index"]
+    correctness = report["correctness"]
+    print(
+        f"[dedup] states {crawl['off']['states']} -> {crawl['on']['states']} "
+        f"({crawl['states_ratio']:.2f}x), events {crawl['off']['events']} -> "
+        f"{crawl['on']['events']} ({crawl['events_ratio']:.2f}x), "
+        f"{crawl['states_collapsed']} collapses"
+    )
+    print(
+        f"[dedup] index {index['off']['states']} -> {index['on']['states']} "
+        f"states ({index['states_ratio']:.2f}x), postings "
+        f"{index['off']['postings']} -> {index['on']['postings']} "
+        f"({index['postings_ratio']:.2f}x)"
+    )
+    # Floor 1: >= 2x reduction in states crawled and indexed.
+    assert crawl["states_ratio"] >= MIN_STATES_RATIO, crawl
+    assert index["states_ratio"] >= MIN_INDEXED_RATIO, index
+    # Floor 2: the crawl itself gets cheaper, not just the model smaller.
+    assert crawl["events_ratio"] >= MIN_EVENTS_RATIO, crawl
+    assert crawl["hash_passes_ratio"] >= MIN_HASH_PASS_RATIO, crawl
+    # Floor 3: the index shrinks with the model.
+    assert index["postings_ratio"] >= MIN_POSTINGS_RATIO, index
+    # Floor 4: zero distinct-state false merges, zero escaped twins,
+    # and every marker query resolves to exactly one canonical state.
+    assert correctness["false_merges"] == 0, correctness
+    assert correctness["missed_twins"] == 0, correctness
+    assert correctness["fragmented_markers"] == 0, correctness
+    # The collapsed crawl recovered exactly the logical corpus.
+    assert crawl["on"]["states"] == report["corpus"]["logical_states"], crawl

@@ -119,6 +119,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         max_additional_states=args.max_states,
         use_hot_node=not args.no_hotnode,
         retry_max_attempts=args.retries,
+        near_dup_threshold=args.near_dup_threshold,
     )
     want_spans = args.spans or args.profile
     sink = None
@@ -641,6 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--traditional", action="store_true")
     crawl.add_argument("--no-hotnode", action="store_true")
     crawl.add_argument("--max-states", type=int, default=10)
+    crawl.add_argument(
+        "--near-dup-threshold", type=int, default=None, metavar="BITS",
+        help="collapse states within this simhash Hamming distance into "
+             "one canonical state (default: off, exact identity only)",
+    )
     crawl.add_argument(
         "--retries", type=int, default=1, metavar="N",
         help="attempts per network request (1 = no retries)",

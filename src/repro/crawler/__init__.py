@@ -13,6 +13,7 @@ from repro.crawler.focused import FocusedAjaxCrawler, InterestProfile
 from repro.crawler.forms import FORM_EVENT_TYPES, FormFillingAjaxCrawler
 from repro.crawler.incremental import CrawlHistory, IncrementalAjaxCrawler
 from repro.crawler.config import CrawlerConfig, DEFAULT_CONFIG
+from repro.crawler.dedup import BandedLshTable, CollapseOutcome, StateCollapser
 from repro.crawler.hotnode import HotNodeCache, HotNodeInterceptor, StackInfo
 from repro.crawler.metrics import CrawlReport, PageMetrics
 from repro.crawler.traditional import TraditionalCrawler
@@ -26,6 +27,9 @@ __all__ = [
     "PageFailure",
     "CrawlerConfig",
     "DEFAULT_CONFIG",
+    "BandedLshTable",
+    "CollapseOutcome",
+    "StateCollapser",
     "HotNodeCache",
     "HotNodeInterceptor",
     "StackInfo",

@@ -25,9 +25,11 @@ from repro.browser.events import EventBinding
 from repro.clock import CostModel, SimClock, Stopwatch
 from repro.crawler.base import Crawler, PageCrawlResult
 from repro.crawler.config import CrawlerConfig, DEFAULT_CONFIG
+from repro.crawler.dedup import CollapseOutcome, StateCollapser
 from repro.crawler.hotnode import HotNodeCache
 from repro.crawler.metrics import PageMetrics
 from repro.dom import DomHashes, changed_regions, reference_region_hashes
+from repro.dom.simhash import state_features
 from repro.errors import BrowserError, NetworkError
 from repro.model import ApplicationModel, EventAnnotation, State
 from repro.net import NETWORK_ACCOUNT
@@ -38,6 +40,7 @@ from repro.obs import (
     HASH_INCREMENTAL,
     NULL_RECORDER,
     STATE_CAPPED,
+    STATE_COLLAPSED,
     STATE_DISCOVERED,
     STATE_DUPLICATE,
 )
@@ -94,17 +97,23 @@ class AjaxCrawler(Crawler):
 
         model = ApplicationModel(url)
         metrics = PageMetrics(url=url)
+        collapser = self._make_collapser()
         if self.config.incremental_hashing:
             # One combined pass hashes the loaded DOM and warms the
             # subtree caches, so _add_state and snapshot() below are
             # cache reads instead of further full walks.
             initial_hashes = page.hash_state()
             self._trace_hash_pass(url, initial_hashes)
-            initial, _ = self._add_state(
-                model, page, depth=0, content_hash=self._identity_hash(page, initial_hashes)
-            )
+            initial_hash = self._identity_hash(page, initial_hashes)
+            initial_regions: Optional[dict[str, str]] = initial_hashes.regions
         else:
-            initial, _ = self._add_state(model, page, depth=0)
+            initial_hash = None
+            initial_regions = None
+        if collapser is not None:
+            initial_hash, _ = self._observe_collapse(
+                collapser, page, initial_hash, initial_regions
+            )
+        initial, _ = self._add_state(model, page, depth=0, content_hash=initial_hash)
         if self.recorder.enabled:
             self.recorder.emit(
                 STATE_DISCOVERED,
@@ -210,6 +219,14 @@ class AjaxCrawler(Crawler):
                             after_regions = reference_region_hashes(
                                 page.document, stats=page.hash_stats
                             )
+                        collapse: Optional[CollapseOutcome] = None
+                        if collapser is not None:
+                            # Near-duplicate collapse: resolve against the
+                            # canonical twin's hash so volatile regions
+                            # never mint new model states.
+                            content_hash, collapse = self._observe_collapse(
+                                collapser, page, content_hash, after_regions
+                            )
                         new_state, created = self._resolve_state(
                             model,
                             page,
@@ -228,14 +245,27 @@ class AjaxCrawler(Crawler):
                             event_span.annotate(capped=True)
                             page.restore(base_snapshot)
                             continue
+                        collapsed = collapse is not None and collapse.merged
                         if self.recorder.enabled:
-                            self.recorder.emit(
-                                STATE_DISCOVERED if created else STATE_DUPLICATE,
-                                url=url,
-                                state_id=new_state.state_id,
-                                depth=state.depth + 1,
-                                via_event=True,
-                            )
+                            if collapsed:
+                                self.recorder.emit(
+                                    STATE_COLLAPSED,
+                                    url=url,
+                                    state_id=new_state.state_id,
+                                    depth=state.depth + 1,
+                                    distance=collapse.distance,
+                                    candidates=collapse.candidates,
+                                )
+                            else:
+                                self.recorder.emit(
+                                    STATE_DISCOVERED if created else STATE_DUPLICATE,
+                                    url=url,
+                                    state_id=new_state.state_id,
+                                    depth=state.depth + 1,
+                                    via_event=True,
+                                )
+                        if collapsed:
+                            metrics.states_collapsed += 1
                         if not created:
                             metrics.duplicates_detected += 1
                         model.add_transition(
@@ -263,6 +293,8 @@ class AjaxCrawler(Crawler):
                     page.restore(base_snapshot)
 
         model.compute_depths()
+        if collapser is not None:
+            self._finish_collapse(model, metrics, collapser)
         self._fill_metrics(metrics, model, events_invoked, watch, counters_before)
         self._fill_hash_metrics(metrics, page)
         return PageCrawlResult(model=model, metrics=metrics)
@@ -303,6 +335,63 @@ class AjaxCrawler(Crawler):
         if self.config.state_identity == "text":
             return None
         return hashes.state
+
+    def _make_collapser(self) -> Optional[StateCollapser]:
+        """One fresh collapser per page crawl (None = layer disabled)."""
+        if self.config.near_dup_threshold is None:
+            return None
+        if not self.config.deduplicate_states:
+            raise ValueError(
+                "near_dup_threshold requires hash-based deduplication "
+                "(deduplicate_states=True): collapse merges by content hash"
+            )
+        return StateCollapser(
+            self.config.near_dup_threshold, self.config.near_dup_bands
+        )
+
+    def _observe_collapse(
+        self,
+        collapser: StateCollapser,
+        page: Page,
+        content_hash: Optional[str],
+        regions: Optional[dict[str, str]],
+    ) -> tuple[str, CollapseOutcome]:
+        """Classify the current DOM against the collapser.
+
+        Returns the hash to resolve against the model: the observation's
+        own content hash for a new canonical (or exact re-observation),
+        the canonical twin's hash when this DOM merged into one.
+        """
+        if content_hash is None:
+            content_hash = self._state_hash(page)
+        if regions is None:
+            regions = reference_region_hashes(page.document, stats=page.hash_stats)
+        outcome = collapser.observe(
+            content_hash, state_features(page.document), regions
+        )
+        return outcome.canonical_hash, outcome
+
+    def _finish_collapse(
+        self,
+        model: ApplicationModel,
+        metrics: PageMetrics,
+        collapser: StateCollapser,
+    ) -> None:
+        """Book collapser accounting and annotate canonical states."""
+        metrics.dedup_states_hashed = collapser.states_hashed
+        metrics.dedup_lsh_candidates = collapser.lsh_candidates
+        metrics.dedup_hamming_checks = collapser.hamming_checks
+        for canonical_hash in collapser.canonical_hashes():
+            state = model.resolve_hash(canonical_hash)
+            if state is None:
+                # The canonical itself was rejected by the state cap.
+                continue
+            variants = collapser.variants_of(canonical_hash)
+            if variants > 1:
+                state.annotations["near_dup_variants"] = str(variants)
+                volatile = collapser.volatile_regions_of(canonical_hash)
+                if volatile:
+                    state.annotations["volatile_regions"] = ",".join(volatile)
 
     def _trace_hash_pass(
         self, url: str, hashes: DomHashes, state_id: Optional[str] = None

@@ -73,6 +73,16 @@ class CrawlerConfig:
     #: recorder with spans on).  Off by default — frame spans are the
     #: heaviest instrumentation and only profiling runs want them.
     trace_js_frames: bool = False
+    #: Near-duplicate collapse (ROADMAP item 3): maximum simhash Hamming
+    #: distance at which a newly observed state merges into an existing
+    #: canonical state instead of becoming its own node.  ``None`` (the
+    #: default) disables the layer entirely — exact-hash identity only,
+    #: keeping every golden trace and parity check byte-identical.
+    near_dup_threshold: Optional[int] = None
+    #: LSH band count for candidate lookup.  ``None`` picks the smallest
+    #: power-of-two band count guaranteeing recall 1 at the threshold
+    #: (``bands_for_threshold``); explicit values must be at least that.
+    near_dup_bands: Optional[int] = None
     #: Attempts per network request (1 = no retries, the legacy default,
     #: which keeps the happy-path benchmarks byte-identical).
     retry_max_attempts: int = 1

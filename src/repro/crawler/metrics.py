@@ -63,6 +63,16 @@ class PageMetrics:
     #: New states rejected by the per-page state cap (§4.3) — content
     #: the model deliberately discarded (the doctor's truncation rule).
     states_capped: int = 0
+    #: DOM changes merged into a near-duplicate canonical state (banded
+    #: LSH collapse; only nonzero when ``near_dup_threshold`` is set).
+    states_collapsed: int = 0
+    #: Observations fingerprinted by the collapser (exact re-observations
+    #: short-circuit before fingerprinting and are not counted).
+    dedup_states_hashed: int = 0
+    #: Canonical candidates returned by banded LSH lookups.
+    dedup_lsh_candidates: int = 0
+    #: Hamming distance computations performed against candidates.
+    dedup_hamming_checks: int = 0
     #: DOM nodes whose canonical bytes were (re)built while hashing.
     hash_nodes_hashed: int = 0
     #: DOM nodes served from clean Merkle subtree caches.
@@ -109,6 +119,13 @@ class CrawlReport:
         )
         registry.inc("crawl.events_quarantined", metrics.events_quarantined)
         registry.inc("crawl.states_capped", metrics.states_capped)
+        if metrics.dedup_states_hashed:
+            # Booked only when the page actually ran the collapser, so
+            # dedup-off registry snapshots stay byte-identical to main.
+            registry.inc("crawl.states_collapsed", metrics.states_collapsed)
+            registry.inc("dedup.states_hashed", metrics.dedup_states_hashed)
+            registry.inc("dedup.lsh_candidates", metrics.dedup_lsh_candidates)
+            registry.inc("dedup.hamming_checks", metrics.dedup_hamming_checks)
         registry.inc("crawl.hash_nodes_hashed", metrics.hash_nodes_hashed)
         registry.inc("crawl.hash_nodes_skipped", metrics.hash_nodes_skipped)
         registry.inc("crawl.hash_bytes_hashed", metrics.hash_bytes_hashed)
@@ -150,6 +167,10 @@ class CrawlReport:
     @property
     def total_states_capped(self) -> int:
         return int(self.registry.counter("crawl.states_capped"))
+
+    @property
+    def total_states_collapsed(self) -> int:
+        return int(self.registry.counter("crawl.states_collapsed"))
 
     @property
     def total_time_ms(self) -> float:

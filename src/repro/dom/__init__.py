@@ -27,6 +27,13 @@ from repro.dom.hashing import (
     state_hash,
     text_hash,
 )
+from repro.dom.simhash import (
+    bands_for_threshold,
+    band_keys,
+    hamming,
+    simhash64,
+    state_features,
+)
 
 __all__ = [
     "Document",
@@ -53,4 +60,9 @@ __all__ = [
     "reference_state_hash",
     "reference_region_hashes",
     "clear_digest_memo",
+    "simhash64",
+    "hamming",
+    "band_keys",
+    "bands_for_threshold",
+    "state_features",
 ]

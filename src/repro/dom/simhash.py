@@ -1,0 +1,164 @@
+"""64-bit simhash fingerprints over per-region DOM features.
+
+Exact state hashing (``repro.dom.hashing``) treats a one-token change —
+a timestamp, a rotating ad, a shuffled list — as a brand-new state,
+which is exactly the state-explosion failure mode the thesis' DOM-state
+model hits on real sites.  This module provides the similarity layer
+underneath near-duplicate collapse (``repro.crawler.dedup``):
+
+* :func:`state_features` walks a DOM tree and emits a *set* of feature
+  strings: one structural feature per region (element carrying an
+  ``id`` attribute) and one feature per distinct visible-text token,
+  qualified by the innermost enclosing region so the same word in two
+  different regions stays two different features.  Script/style bodies
+  are excluded — they are invisible chrome shared by every state of a
+  page and would swamp the signal (see DESIGN.md decision 14).
+* :func:`simhash64` folds a feature set into a 64-bit fingerprint whose
+  Hamming distance tracks the cosine distance between feature sets.
+* :func:`hamming` / :func:`band_keys` / :func:`bands_for_threshold`
+  supply the distance metric and the banded LSH decomposition with a
+  recall guarantee: with ``b`` bands of ``r = 64 / b`` bits, two
+  fingerprints within Hamming distance ``b - 1`` *must* agree on at
+  least one full band (pigeonhole), so choosing the smallest ``b`` with
+  ``b >= threshold + 1`` makes banded candidate lookup exact (recall 1)
+  for that threshold.
+"""
+
+from __future__ import annotations
+
+import re
+from hashlib import blake2b
+from typing import Iterable
+
+from repro.dom.node import Document, Element, Node, RAW_TEXT_ELEMENTS, Text
+
+__all__ = [
+    "FINGERPRINT_BITS",
+    "band_keys",
+    "bands_for_threshold",
+    "hamming",
+    "simhash64",
+    "state_features",
+]
+
+#: Width of every fingerprint produced by :func:`simhash64`.
+FINGERPRINT_BITS = 64
+
+_FULL_MASK = (1 << FINGERPRINT_BITS) - 1
+
+#: Visible-text tokens: lower-case alphanumeric runs, same shape the
+#: search tokenizer produces, so marker words survive intact.
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def state_features(node: Node | Document) -> frozenset[str]:
+    """Feature set of a DOM state: region structure + qualified tokens.
+
+    Features come in two flavours:
+
+    * ``r!{region_id}`` — one per element with an ``id`` attribute, so
+      adding or removing a region moves the fingerprint even when no
+      visible text changes;
+    * ``{region_id}!{token}`` — one per distinct (innermost enclosing
+      region, token) pair over visible text, plus one
+      ``{region_id}!{t1}_{t2}`` feature per adjacent token pair within
+      a single text run.  Text outside any region is qualified with the
+      empty region id.
+
+    Set semantics are deliberate: repeating a word does not increase
+    its weight.  Unigrams keep the fingerprint stable under reorder;
+    bigrams add enough stable mass that a single volatile token moves
+    the fingerprint only a few bits.
+    """
+    root = node.root if isinstance(node, Document) else node
+    features: set[str] = set()
+    if root is None:
+        return frozenset()
+    _walk(root, "", features)
+    return frozenset(features)
+
+
+def _walk(node: Node, region: str, features: set[str]) -> None:
+    if isinstance(node, Text):
+        tokens = _TOKEN_RE.findall(node.data.lower())
+        for token in tokens:
+            features.add(f"{region}!{token}")
+        # Adjacent-token bigrams within one text run: they widen the
+        # stable feature mass, pulling twin fingerprints closer together
+        # (one changed token flips few votes of many) while distinct
+        # prose shares almost none of them.
+        for first, second in zip(tokens, tokens[1:]):
+            features.add(f"{region}!{first}_{second}")
+        return
+    if not isinstance(node, Element):
+        return
+    if node.tag in RAW_TEXT_ELEMENTS:
+        return
+    region_id = node.attrs.get("id")
+    if region_id:
+        features.add(f"r!{region_id}")
+        region = region_id
+    for child in node.children:
+        _walk(child, region, features)
+
+
+def _feature_hash(feature: str) -> int:
+    return int.from_bytes(
+        blake2b(feature.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def simhash64(features: Iterable[str]) -> int:
+    """Weighted bit-vote simhash of a feature set.
+
+    Each feature hashes to 64 bits; bit ``i`` of the fingerprint is 1
+    when more features voted 1 than 0 at position ``i`` (ties break to
+    0).  Input order is irrelevant and duplicates are collapsed, so any
+    iterable yielding the same feature *set* produces the same value.
+    """
+    counts = [0] * FINGERPRINT_BITS
+    for feature in set(features):
+        h = _feature_hash(feature)
+        for i in range(FINGERPRINT_BITS):
+            if h & (1 << i):
+                counts[i] += 1
+            else:
+                counts[i] -= 1
+    fingerprint = 0
+    for i, count in enumerate(counts):
+        if count > 0:
+            fingerprint |= 1 << i
+    return fingerprint
+
+
+def hamming(a: int, b: int) -> int:
+    """Number of differing bits between two 64-bit fingerprints."""
+    return ((a ^ b) & _FULL_MASK).bit_count()
+
+
+def bands_for_threshold(threshold: int) -> int:
+    """Smallest band count giving exact recall at ``threshold``.
+
+    Two fingerprints at Hamming distance ``d`` split across ``b`` bands
+    can corrupt at most ``d`` bands, so with ``b >= d + 1`` bands at
+    least one band is identical on both sides.  Band counts must divide
+    64 so every band has the same width.
+    """
+    if not 0 <= threshold < FINGERPRINT_BITS:
+        raise ValueError(
+            f"near-duplicate threshold must be in [0, {FINGERPRINT_BITS - 1}], "
+            f"got {threshold}"
+        )
+    for bands in (1, 2, 4, 8, 16, 32, 64):
+        if bands >= threshold + 1:
+            return bands
+    raise AssertionError("unreachable: threshold < 64 always fits 64 bands")
+
+
+def band_keys(fingerprint: int, bands: int) -> tuple[int, ...]:
+    """Split a fingerprint into ``bands`` equal-width integer keys."""
+    if bands not in (1, 2, 4, 8, 16, 32, 64):
+        raise ValueError(f"band count must divide {FINGERPRINT_BITS}, got {bands}")
+    rows = FINGERPRINT_BITS // bands
+    mask = (1 << rows) - 1
+    return tuple((fingerprint >> (band * rows)) & mask for band in range(bands))

@@ -32,6 +32,7 @@ from repro.obs.events import (
     SPAN_END,
     SPAN_START,
     STATE_CAPPED,
+    STATE_COLLAPSED,
     STATE_DISCOVERED,
     STATE_DUPLICATE,
     TraceEvent,
@@ -115,6 +116,7 @@ __all__ = [
     "EVENT_FIRED",
     "STATE_DISCOVERED",
     "STATE_DUPLICATE",
+    "STATE_COLLAPSED",
     "STATE_CAPPED",
     "HASH_FULL",
     "HASH_INCREMENTAL",

@@ -41,6 +41,9 @@ EVENT_FIRED = "event_fired"
 STATE_DISCOVERED = "state_discovered"
 #: A DOM change resolved to an already-known state (hash dedup).
 STATE_DUPLICATE = "state_duplicate"
+#: A DOM change merged into a near-duplicate canonical state (banded
+#: LSH collapse; only emitted when ``near_dup_threshold`` is set).
+STATE_COLLAPSED = "state_collapsed"
 #: A new state was rejected by the per-page state cap (§4.3).
 STATE_CAPPED = "state_capped"
 #: A DOM hash pass rebuilt the whole tree (no cached subtree reused).
@@ -76,6 +79,7 @@ EVENT_KINDS = (
     EVENT_FIRED,
     STATE_DISCOVERED,
     STATE_DUPLICATE,
+    STATE_COLLAPSED,
     STATE_CAPPED,
     HASH_FULL,
     HASH_INCREMENTAL,

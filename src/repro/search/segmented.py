@@ -113,12 +113,14 @@ class SegmentedIndex:
             self._next_segment_id = int(manifest["next_segment_id"])
             for name in manifest["segments"]:
                 self._readers.append(SegmentReader(self.path / name, cache=self.cache))
+            self.orphans_collected = self._collect_orphans(set(manifest["segments"]))
         else:
             self.max_state_index = max_state_index
             self.stopwords = stopwords
             self.block_size = block_size
             self._next_seq = 0
             self._next_segment_id = 0
+            self.orphans_collected = 0
             self._save_manifest()
         self._memtable = Memtable(
             max_state_index=self.max_state_index, stopwords=self.stopwords
@@ -139,6 +141,28 @@ class SegmentedIndex:
         self._lookup = None
 
     # -- persistence -------------------------------------------------------------
+
+    def _collect_orphans(self, live: set[str]) -> int:
+        """Delete files a crash stranded outside the manifest.
+
+        The manifest swap (atomic ``os.replace``) is the commit point of
+        every mutation; segment files are written *before* it and
+        unlinked *after* it.  A crash anywhere in that window therefore
+        leaves either a freshly written segment the manifest never
+        adopted, a victim segment the manifest already dropped, or a
+        half-written ``*.tmp`` — all garbage, never referenced data.
+        """
+        orphans = 0
+        for path in sorted(self.path.glob("seg-*.seg")):
+            if path.name not in live:
+                path.unlink()
+                orphans += 1
+        for path in sorted(self.path.glob("*.tmp")):
+            path.unlink()
+            orphans += 1
+        if orphans and self.metrics is not None:
+            self.metrics.inc("index.orphans_collected", orphans)
+        return orphans
 
     def _save_manifest(self) -> None:
         manifest = {
@@ -367,11 +391,15 @@ class SegmentedIndex:
                 self._readers.pop(position)
                 if replacement is not None:
                     self._readers.insert(position, replacement)
-                reader.close()
-                reader.path.unlink(missing_ok=True)
             if touched:
                 self._lookup = None
                 self._save_manifest()
+                # Unlink victims only after the manifest stops naming
+                # them: a crash in between leaves orphans (collected on
+                # reopen), never a manifest pointing at missing files.
+                for reader in touched:
+                    reader.close()
+                    reader.path.unlink(missing_ok=True)
                 if self.metrics is not None:
                     self.metrics.inc("index.segment_rewrites", len(touched))
                     self.metrics.set_gauge("index.live_segments", len(self._readers))

@@ -5,7 +5,9 @@ correctness gate: generate → crawl → compare against the spec).
 * :mod:`repro.testgen.generator` — seeded sampling of site specs;
 * :mod:`repro.testgen.site` — specs rendered as live simulated servers;
 * :mod:`repro.testgen.conformance` — differential/metamorphic checks;
-* :mod:`repro.testgen.fuzz` — substrate crash-fuzzing with shrinking.
+* :mod:`repro.testgen.fuzz` — substrate crash-fuzzing with shrinking;
+* :mod:`repro.testgen.noisy` — noisy-twin sites with volatile regions
+  and closed-form near-duplicate collapse oracles.
 """
 
 from repro.testgen.conformance import (
@@ -36,6 +38,15 @@ from repro.testgen.fuzz import (
     shrink_text,
 )
 from repro.testgen.generator import MIN_STATES, WORD_CORPUS, generate_page, generate_site
+from repro.testgen.noisy import (
+    NEAR_DUP_THRESHOLD,
+    NOISY_WORD_CORPUS,
+    VOLATILE_MARKER_SUBSTRINGS,
+    NoisyGeneratedSite,
+    NoisySiteSpec,
+    build_noisy_site,
+    generate_noisy_site,
+)
 from repro.testgen.site import GeneratedSite, build_site
 from repro.testgen.spec import PageSpec, SiteSpec, TransitionSpec
 
@@ -48,11 +59,17 @@ __all__ = [
     "FuzzSummary",
     "GeneratedSite",
     "MIN_STATES",
+    "NEAR_DUP_THRESHOLD",
+    "NOISY_WORD_CORPUS",
+    "NoisyGeneratedSite",
+    "NoisySiteSpec",
+    "VOLATILE_MARKER_SUBSTRINGS",
     "PageSpec",
     "SiteSpec",
     "TransitionSpec",
     "WORD_CORPUS",
     "CORPUS_STATES_PER_PAGE",
+    "build_noisy_site",
     "build_site",
     "conformance_config",
     "corpus_models",
@@ -61,6 +78,7 @@ __all__ = [
     "state_text",
     "fuzz_corpus",
     "generate_case",
+    "generate_noisy_site",
     "generate_page",
     "generate_site",
     "recover_graph",

@@ -26,6 +26,15 @@ ground truth, or against another crawler variant that must agree:
   ``InvertedFile`` over the same crawled models: byte-identical state
   registries, postings, tf/idf statistics and search results — before
   and after incremental update + full compaction.
+* ``near_dup_parity`` — the banded-LSH collapse layer against the
+  noisy-twin generator's closed-form oracles: with
+  ``near_dup_threshold`` set, a noisy crawl recovers exactly the
+  logical state count, twin→canonical mapping, variant counts and
+  volatile-region masks (identically across execution backends, with
+  zero false merges); with it unset, the same noisy site explodes to
+  exactly the breadth-first unrolling the oracle predicts, and a
+  standard-site crawl emits no dedup events, metrics or annotations —
+  the dedup-off path is inert.
 
 Checks never raise on conformance violations: each returns a
 :class:`CheckResult` whose failures pinpoint seed + page + quantity, so
@@ -43,9 +52,17 @@ from typing import Callable, Optional
 from repro.clock import CostModel, SimClock
 from repro.crawler import AjaxCrawler, CrawlerConfig
 from repro.model import ApplicationModel
+from repro.obs import STATE_COLLAPSED
+from repro.obs.recorder import Recorder
 from repro.parallel import MPAjaxCrawler, SimpleAjaxCrawler
 from repro.search import InvertedFile, SearchEngine, SegmentedIndex
 from repro.testgen.generator import generate_site
+from repro.testgen.noisy import (
+    NEAR_DUP_THRESHOLD,
+    NoisyGeneratedSite,
+    NoisySiteSpec,
+    generate_noisy_site,
+)
 from repro.testgen.site import GeneratedSite
 from repro.testgen.spec import PageSpec, SiteSpec
 
@@ -58,6 +75,7 @@ CHECK_NAMES = (
     "backend_parity",
     "search_consistency",
     "index_parity",
+    "near_dup_parity",
 )
 
 
@@ -699,6 +717,342 @@ def _state_query_terms(spec: SiteSpec, uri: str, state_id: str) -> list[str]:
     return terms
 
 
+# -- near-duplicate collapse ------------------------------------------------------
+
+
+def _noisy_config(noisy: NoisySiteSpec, collapse: bool) -> CrawlerConfig:
+    """Crawl limits for a noisy-twin crawl.
+
+    The hot-node cache is off in both modes: it would replay the first
+    twin's bytes on every repeated fetch, hiding the volatility the
+    check exists to exercise.  With collapse on the cap admits exactly
+    the logical states; with it off the cap bounds the explosion at 3x
+    the page size (the oracle replays the same bound).
+    """
+    max_page_states = max(page.num_states for page in noisy.pages)
+    if collapse:
+        return CrawlerConfig(
+            max_additional_states=max_page_states - 1,
+            use_hot_node=False,
+            max_event_invocations=10_000,
+            near_dup_threshold=NEAR_DUP_THRESHOLD,
+        )
+    return CrawlerConfig(
+        max_additional_states=3 * max_page_states - 1,
+        use_hot_node=False,
+        max_event_invocations=10_000,
+    )
+
+
+def _crawl_noisy(noisy: NoisySiteSpec, collapse: bool):
+    """Traced crawl of a fresh noisy server (fresh serial counters)."""
+    recorder = Recorder(clock=SimClock())
+    crawler = AjaxCrawler(
+        NoisyGeneratedSite(noisy),
+        _noisy_config(noisy, collapse),
+        clock=recorder.clock,
+        cost_model=_cost_model(),
+        recorder=recorder,
+    )
+    result = crawler.crawl(noisy.all_urls())
+    return crawler, result, recorder
+
+
+def _page_metrics(crawl, url: str):
+    return next(metrics for metrics in crawl.report.pages if metrics.url == url)
+
+
+def check_near_dup_parity(spec: SiteSpec) -> CheckResult:
+    """Banded-LSH collapse vs the noisy-twin generator's closed form.
+
+    Three crawls of the seed's noisy twin-site plus one of the standard
+    site:
+
+    * collapse ON — canonical states, twin→canonical mapping, variant
+      counts, volatile masks, collapse/event/hash accounting, trace
+      events and search non-fragmentation must all equal the spec
+      oracles; zero false merges (every canonical maps to a distinct
+      spec state).
+    * collapse ON under ``MPAjaxCrawler`` — simulated and threaded
+      backends must produce the same models as the single-crawler run.
+    * collapse OFF — the same noisy site must explode to *exactly* the
+      breadth-first unrolling ``expected_exploded_states`` predicts.
+    * standard site, dedup unset — no ``state_collapsed`` events, no
+      ``dedup.*``/``crawl.states_collapsed`` registry keys, no dedup
+      annotations, and page metrics identical to an untraced baseline
+      crawl (byte-identity to *main* is pinned by the golden traces in
+      ``make trace-verify``).
+    """
+    result = CheckResult("near_dup_parity")
+    noisy = generate_noisy_site(spec.seed, num_pages=len(spec.pages))
+
+    # -- collapse ON: closed-form oracles ---------------------------------
+    _, on_crawl, on_recorder = _crawl_noisy(noisy, collapse=True)
+    total_collapses = 0
+    total_observations = 0
+    for page, model in zip(noisy.pages, on_crawl.models):
+        label = f"page {page.page_id} (collapse on)"
+        expected_states = noisy.expected_canonical_states(page)
+        result.expect(
+            model.num_states == expected_states,
+            f"{label}: {model.num_states} canonical states, "
+            f"expected {expected_states}",
+        )
+        recovered = recover_graph(page, model)
+        for problem in recovered.problems:
+            result.expect(False, f"{label}: {problem}")
+        result.expect(
+            len(recovered.mapping) == model.num_states
+            and recovered.states == set(range(page.num_states)),
+            f"{label}: canonical set is not a bijection onto the spec "
+            f"states (a false merge or a missed twin)",
+        )
+        result.expect(
+            recovered.edges == page.edges,
+            f"{label}: recovered edges {sorted(recovered.edges)} != "
+            f"spec edges {sorted(page.edges)}",
+        )
+        result.expect(
+            len(list(model.transitions())) == len(page.transitions),
+            f"{label}: transition rows diverge from the spec edge count",
+        )
+        by_spec_state = {
+            index: model.get_state(state_id)
+            for state_id, index in recovered.mapping.items()
+        }
+        for index in range(page.num_states):
+            state = by_spec_state.get(index)
+            if state is None:
+                continue  # already reported by the bijection expect
+            result.expect(
+                noisy.noise_token(page, index, 0) in state.text,
+                f"{label}: canonical of spec state {index} is not the "
+                f"serial-0 (first-rendered) twin",
+            )
+            variants = noisy.expected_variants(page, index)
+            annotated = state.annotations.get("near_dup_variants")
+            mask = state.annotations.get("volatile_regions", "")
+            if variants > 1:
+                result.expect(
+                    annotated == str(variants),
+                    f"{label}: state {index} annotates {annotated!r} "
+                    f"variants, expected {variants}",
+                )
+                expected_mask = ",".join(noisy.expected_volatile_mask(page, index))
+                result.expect(
+                    mask == expected_mask,
+                    f"{label}: state {index} volatile mask {mask!r} != "
+                    f"{expected_mask!r}",
+                )
+            else:
+                result.expect(
+                    annotated is None and not mask,
+                    f"{label}: single-variant state {index} carries dedup "
+                    f"annotations",
+                )
+        metrics = _page_metrics(on_crawl, model.url)
+        collapses = noisy.expected_collapses(page)
+        total_collapses += collapses
+        total_observations += 1 + len(page.transitions)
+        result.expect(
+            metrics.states_collapsed == collapses,
+            f"{label}: states_collapsed {metrics.states_collapsed} != "
+            f"{collapses}",
+        )
+        result.expect(
+            metrics.duplicates_detected == collapses,
+            f"{label}: every duplicate must be a near-dup merge "
+            f"({metrics.duplicates_detected} != {collapses})",
+        )
+        result.expect(metrics.states_capped == 0, f"{label}: states were capped")
+        result.expect(
+            metrics.events_invoked == len(page.transitions),
+            f"{label}: {metrics.events_invoked} events fired, expected "
+            f"one per spec edge ({len(page.transitions)})",
+        )
+        result.expect(
+            metrics.dedup_states_hashed == 1 + len(page.transitions),
+            f"{label}: {metrics.dedup_states_hashed} observations "
+            f"fingerprinted, expected {1 + len(page.transitions)}",
+        )
+        result.expect(
+            metrics.dedup_hamming_checks >= collapses,
+            f"{label}: fewer Hamming checks than merges",
+        )
+    collapsed_events = [
+        event for event in on_recorder.events if event.kind == STATE_COLLAPSED
+    ]
+    result.expect(
+        len(collapsed_events) == total_collapses,
+        f"{len(collapsed_events)} state_collapsed events, "
+        f"expected {total_collapses}",
+    )
+    on_registry = on_crawl.report.registry
+    result.expect(
+        int(on_registry.counter("crawl.states_collapsed")) == total_collapses,
+        "crawl.states_collapsed diverges from the per-page oracle sum",
+    )
+    result.expect(
+        int(on_registry.counter("dedup.states_hashed")) == total_observations,
+        "dedup.states_hashed diverges from the observation count",
+    )
+    result.expect(
+        int(on_registry.counter("dedup.hamming_checks")) >= total_collapses,
+        "dedup.hamming_checks below the merge count",
+    )
+
+    # Search must not fragment across twins: one hit per marker (the
+    # canonical), none for a merged twin's volatile token.
+    engine = SearchEngine.build(on_crawl.models)
+    for page in noisy.pages:
+        for index, marker in enumerate(page.markers):
+            hits = engine.result_count(marker)
+            result.expect(
+                hits == 1,
+                f"marker {marker!r} matched {hits} states (canonical "
+                f"indexing must yield exactly one)",
+            )
+            result.expect(
+                engine.result_count(noisy.noise_token(page, index, 0)) == 1,
+                f"serial-0 twin of page {page.page_id} state {index} is "
+                f"not the indexed canonical",
+            )
+            if noisy.expected_variants(page, index) >= 2:
+                leaked = engine.result_count(noisy.noise_token(page, index, 1))
+                result.expect(
+                    leaked == 0,
+                    f"merged twin of page {page.page_id} state {index} "
+                    f"leaked into the index",
+                )
+
+    # -- collapse ON across execution backends ----------------------------
+    partitions = _partition(noisy.all_urls(), 2)
+
+    def controller() -> MPAjaxCrawler:
+        return MPAjaxCrawler(
+            NoisyGeneratedSite(noisy),
+            num_proc_lines=2,
+            config=_noisy_config(noisy, collapse=True),
+            cost_model=_cost_model(),
+        )
+
+    single_prints = _model_fingerprints(on_crawl.models)
+    for backend in ("simulated", "threads"):
+        run = controller().run(partitions, backend=backend)
+        backend_prints = _model_fingerprints(run.result.models)
+        result.expect(
+            backend_prints == single_prints,
+            f"{backend} backend models diverge from the single-crawler "
+            f"collapse run",
+        )
+        result.expect(
+            run.result.report.total_states_collapsed == total_collapses,
+            f"{backend} backend booked "
+            f"{run.result.report.total_states_collapsed} collapses, "
+            f"expected {total_collapses}",
+        )
+
+    # -- collapse OFF: exact explosion ------------------------------------
+    _, off_crawl, off_recorder = _crawl_noisy(noisy, collapse=False)
+    off_cap = 3 * max(page.num_states for page in noisy.pages)
+    for page, model in zip(noisy.pages, off_crawl.models):
+        label = f"page {page.page_id} (collapse off)"
+        exploded = noisy.expected_exploded_states(page, off_cap)
+        result.expect(
+            model.num_states == exploded,
+            f"{label}: {model.num_states} states, oracle unrolls to "
+            f"{exploded}",
+        )
+        result.expect(
+            model.num_states > page.num_states,
+            f"{label}: noisy twins did not inflate the exact-identity "
+            f"model",
+        )
+        metrics = _page_metrics(off_crawl, model.url)
+        result.expect(
+            metrics.events_invoked == noisy.expected_exploded_events(page, off_cap),
+            f"{label}: {metrics.events_invoked} events fired, oracle "
+            f"says {noisy.expected_exploded_events(page, off_cap)}",
+        )
+        result.expect(
+            metrics.states_collapsed == 0 and metrics.dedup_states_hashed == 0,
+            f"{label}: dedup accounting booked with the layer off",
+        )
+    _expect_dedup_inert(result, off_crawl, off_recorder, "noisy collapse-off")
+
+    # -- standard site: dedup off must be inert ---------------------------
+    recorder = Recorder(clock=SimClock())
+    traced = AjaxCrawler(
+        GeneratedSite(spec),
+        conformance_config(spec),
+        clock=recorder.clock,
+        cost_model=_cost_model(),
+        recorder=recorder,
+    )
+    traced_crawl = traced.crawl(spec.all_urls())
+    _expect_dedup_inert(result, traced_crawl, recorder, "standard")
+    _, baseline_crawl = crawl_generated(spec)
+    result.expect(
+        _model_fingerprints(traced_crawl.models)
+        == _model_fingerprints(baseline_crawl.models),
+        "dedup-off standard models diverge from the baseline crawl",
+    )
+    baseline_metrics = {m.url: m for m in baseline_crawl.report.pages}
+    for metrics in traced_crawl.report.pages:
+        result.expect(
+            _behavior_fields(metrics)
+            == _behavior_fields(baseline_metrics.get(metrics.url)),
+            f"{metrics.url}: dedup-off page metrics diverge from the "
+            f"baseline crawl",
+        )
+    return result
+
+
+def _behavior_fields(metrics) -> Optional[dict]:
+    """Page metrics minus the memo-warmth-dependent work counters.
+
+    The digest memo is process-global, so ``hash_bytes_hashed`` (and
+    friends) depend on which crawl of identical content ran first in
+    the process — they measure hashing *work*, not crawl behaviour, and
+    are excluded from cross-run equality."""
+    if metrics is None:
+        return None
+    import dataclasses
+
+    fields = dataclasses.asdict(metrics)
+    for key in ("hash_bytes_hashed", "hash_nodes_hashed", "hash_nodes_skipped"):
+        fields.pop(key, None)
+    return fields
+
+
+def _expect_dedup_inert(
+    result: CheckResult, crawl, recorder: Recorder, label: str
+) -> None:
+    """A dedup-off crawl must leave zero dedup traces anywhere."""
+    result.expect(
+        not any(event.kind == STATE_COLLAPSED for event in recorder.events),
+        f"{label}: state_collapsed events emitted with dedup off",
+    )
+    counters = crawl.report.registry.snapshot()["counters"]
+    dirty = [
+        key
+        for key in counters
+        if key.startswith("dedup.") or key == "crawl.states_collapsed"
+    ]
+    result.expect(
+        not dirty,
+        f"{label}: dedup registry keys booked with dedup off: {dirty}",
+    )
+    for model in crawl.models:
+        for state in model.states():
+            result.expect(
+                "near_dup_variants" not in state.annotations
+                and "volatile_regions" not in state.annotations,
+                f"{label}: {model.url} {state.state_id} carries dedup "
+                f"annotations with dedup off",
+            )
+
+
 # -- harness entry points ----------------------------------------------------------
 
 
@@ -715,6 +1069,7 @@ def run_conformance(
         "backend_parity": check_backend_parity,
         "search_consistency": check_search_consistency,
         "index_parity": check_index_parity,
+        "near_dup_parity": check_near_dup_parity,
     }
     report = ConformanceReport(spec=spec)
     for name in checks:

@@ -1,0 +1,161 @@
+"""Property-based tests for the simhash/LSH near-duplicate layer.
+
+Three guarantees carry the whole collapse design, so each is pinned as
+a law over randomized inputs rather than as examples:
+
+* :func:`~repro.dom.simhash.hamming` is a metric on 64-bit
+  fingerprints (the collapse threshold test is meaningless otherwise);
+* banded lookup has **recall 1** at its covering threshold — any pair
+  within Hamming distance ``bands - 1`` shares a full band, so the LSH
+  probe can never miss a mergeable candidate (merges may only be missed
+  by the threshold, never by the index);
+* greedy collapse is **order-insensitive on clustered inputs**: when
+  clusters are separated by more than twice the threshold, the
+  partition into canonical groups does not depend on observation order
+  (so crawl scheduling, retries and backend choice cannot change the
+  model).
+"""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.crawler.dedup import BandedLshTable, StateCollapser
+from repro.dom.simhash import (
+    FINGERPRINT_BITS,
+    band_keys,
+    bands_for_threshold,
+    hamming,
+    simhash64,
+)
+
+fingerprints = st.integers(min_value=0, max_value=(1 << FINGERPRINT_BITS) - 1)
+
+
+def flip_bits(fingerprint, positions):
+    for position in positions:
+        fingerprint ^= 1 << position
+    return fingerprint
+
+
+def distinct_positions(rng, count):
+    return rng.sample(range(FINGERPRINT_BITS), count)
+
+
+class TestHammingIsAMetric:
+    @given(fingerprints, fingerprints)
+    def test_symmetry_and_identity(self, a, b):
+        assert hamming(a, b) == hamming(b, a)
+        assert hamming(a, a) == 0
+        assert (hamming(a, b) == 0) == (a == b)
+
+    @given(fingerprints, fingerprints, fingerprints)
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+    @given(fingerprints, st.integers(min_value=0), st.integers(min_value=1, max_value=63))
+    def test_flipping_k_bits_moves_exactly_k(self, fingerprint, seed, k):
+        rng = random.Random(seed)
+        other = flip_bits(fingerprint, distinct_positions(rng, k))
+        assert hamming(fingerprint, other) == k
+
+
+class TestSimhashIsASetFunction:
+    @given(st.lists(st.text(alphabet="abcxyz0189!_", min_size=1, max_size=12)))
+    def test_order_and_multiplicity_irrelevant(self, features):
+        shuffled = list(features)
+        random.Random(0).shuffle(shuffled)
+        assert simhash64(features) == simhash64(shuffled)
+        assert simhash64(features) == simhash64(features * 2)
+        assert simhash64(features) == simhash64(frozenset(features))
+
+
+class TestBandedRecall:
+    @given(
+        fingerprints,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0),
+    )
+    def test_pairs_within_threshold_share_a_band(self, fingerprint, threshold, seed):
+        bands = bands_for_threshold(threshold)
+        rng = random.Random(seed)
+        distance = rng.randint(0, threshold)
+        twin = flip_bits(fingerprint, distinct_positions(rng, distance))
+        shared = set(enumerate(band_keys(fingerprint, bands))) & set(
+            enumerate(band_keys(twin, bands))
+        )
+        assert shared, (fingerprint, twin, bands)
+
+    @given(
+        fingerprints,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0),
+    )
+    def test_table_lookup_never_misses_a_mergeable_candidate(
+        self, fingerprint, threshold, seed
+    ):
+        table = BandedLshTable(bands_for_threshold(threshold))
+        table.insert(fingerprint, "canonical")
+        rng = random.Random(seed)
+        twin = flip_bits(
+            fingerprint, distinct_positions(rng, rng.randint(0, threshold))
+        )
+        assert "canonical" in table.candidates(twin)
+
+
+class TestCollapseOrderInsensitivity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0),
+        st.integers(min_value=0),
+    )
+    def test_partition_invariant_under_observation_order(
+        self, threshold, num_clusters, layout_seed, shuffle_seed
+    ):
+        rng = random.Random(layout_seed)
+        centers = [
+            rng.getrandbits(FINGERPRINT_BITS) for _ in range(num_clusters)
+        ]
+        # Clustered regime: any cross-cluster pair sits beyond 2t, so a
+        # variant of one cluster can never be within t of another
+        # cluster's members regardless of which variant became the
+        # canonical.  (Unclustered inputs are *defined* to be
+        # order-dependent under greedy collapse.)
+        assume(
+            all(
+                hamming(a, b) > 2 * threshold + 1
+                for i, a in enumerate(centers)
+                for b in centers[i + 1 :]
+            )
+        )
+        observations = []
+        for cluster, center in enumerate(centers):
+            observations.append((center, f"c{cluster}v0"))
+            for variant in range(1, rng.randint(1, 4) + 1):
+                flips = rng.randint(0, threshold // 2)
+                observations.append(
+                    (
+                        flip_bits(center, distinct_positions(rng, flips)),
+                        f"c{cluster}v{variant}",
+                    )
+                )
+
+        def collapse(order):
+            collapser = StateCollapser(threshold)
+            for fingerprint, content_hash in order:
+                collapser.observe_fingerprint(
+                    content_hash, fingerprint, regions={}
+                )
+            return collapser.partition()
+
+        baseline = collapse(observations)
+        shuffled = list(observations)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        assert collapse(shuffled) == baseline
+        # And the partition is exactly one group per cluster.
+        assert len(baseline) == num_clusters
+        for group in baseline:
+            clusters = {name[1] for name in group}
+            assert len(clusters) == 1, baseline

@@ -1,0 +1,109 @@
+"""Unit tests for simhash fingerprints over per-region DOM features."""
+
+import pytest
+
+from repro.dom import parse_document
+from repro.dom.simhash import (
+    FINGERPRINT_BITS,
+    band_keys,
+    bands_for_threshold,
+    hamming,
+    simhash64,
+    state_features,
+)
+
+
+def features_of(html):
+    return state_features(parse_document(html))
+
+
+class TestStateFeatures:
+    def test_tokens_qualified_by_innermost_region(self):
+        features = features_of(
+            '<div id="outer">alpha<div id="inner">alpha</div></div>'
+        )
+        assert "outer!alpha" in features
+        assert "inner!alpha" in features
+        assert "r!outer" in features and "r!inner" in features
+
+    def test_text_outside_any_region_gets_empty_qualifier(self):
+        assert "!loose" in features_of("<p>loose</p>")
+
+    def test_same_word_in_two_regions_is_two_features(self):
+        features = features_of('<div id="a">word</div><div id="b">word</div>')
+        assert {"a!word", "b!word"} <= features
+
+    def test_script_and_style_bodies_excluded(self):
+        features = features_of(
+            '<div id="c">visible</div>'
+            "<script>var hidden = 1;</script><style>.x{color:red}</style>"
+        )
+        assert "c!visible" in features
+        assert not any("hidden" in f or "color" in f for f in features)
+
+    def test_intra_run_bigrams_emitted(self):
+        features = features_of('<div id="c">alpha beta gamma</div>')
+        assert {"c!alpha_beta", "c!beta_gamma"} <= features
+        assert "c!alpha_gamma" not in features
+
+    def test_bigrams_do_not_cross_element_boundaries(self):
+        features = features_of('<div id="c"><b>alpha</b><b>beta</b></div>')
+        assert "c!alpha" in features and "c!beta" in features
+        assert "c!alpha_beta" not in features
+
+    def test_set_semantics_repeated_word_is_one_feature(self):
+        once = features_of('<div id="c">echo stop</div>')
+        thrice = features_of('<div id="c">echo echo echo stop</div>')
+        assert "c!echo" in once
+        # Repetition only adds the echo_echo bigram, not weight.
+        assert thrice - once == {"c!echo_echo"}
+
+    def test_empty_document(self):
+        assert features_of("") == frozenset()
+
+
+class TestSimhash64:
+    def test_deterministic_and_in_range(self):
+        fp = simhash64({"a!x", "b!y"})
+        assert fp == simhash64({"b!y", "a!x"})
+        assert 0 <= fp < (1 << FINGERPRINT_BITS)
+
+    def test_one_changed_token_moves_few_bits(self):
+        base = {f"c!w{i}" for i in range(40)}
+        near = (base - {"c!w0"}) | {"c!zz9"}
+        far = {f"d!v{i}" for i in range(40)}
+        assert hamming(simhash64(base), simhash64(near)) < 15
+        assert hamming(simhash64(base), simhash64(far)) > 15
+
+
+class TestBandMath:
+    @pytest.mark.parametrize(
+        "threshold,bands",
+        [(0, 1), (1, 2), (3, 4), (7, 8), (14, 16), (15, 16), (31, 32), (63, 64)],
+    )
+    def test_smallest_covering_band_count(self, threshold, bands):
+        assert bands_for_threshold(threshold) == bands
+
+    @pytest.mark.parametrize("threshold", [-1, 64, 100])
+    def test_threshold_out_of_range_rejected(self, threshold):
+        with pytest.raises(ValueError):
+            bands_for_threshold(threshold)
+
+    def test_band_keys_reassemble_fingerprint(self):
+        fp = 0x0123456789ABCDEF
+        for bands in (1, 2, 4, 8, 16, 32, 64):
+            keys = band_keys(fp, bands)
+            rows = FINGERPRINT_BITS // bands
+            assert len(keys) == bands
+            assert sum(key << (band * rows) for band, key in enumerate(keys)) == fp
+
+    def test_band_count_must_divide_width(self):
+        with pytest.raises(ValueError):
+            band_keys(0, 3)
+
+
+class TestHamming:
+    def test_examples(self):
+        assert hamming(0, 0) == 0
+        assert hamming(0b1010, 0b0101) == 4
+        assert hamming(0, (1 << FINGERPRINT_BITS) - 1) == FINGERPRINT_BITS

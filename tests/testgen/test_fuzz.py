@@ -2,7 +2,10 @@
 
 import pytest
 
+import repro.testgen.fuzz as fuzz_module
+from repro.crawler import CrawlerConfig
 from repro.errors import JsRuntimeError, JsSyntaxError
+from repro.testgen.noisy import VOLATILE_MARKER_SUBSTRINGS
 from repro.js import Interpreter
 from repro.testgen import (
     CrashReport,
@@ -130,3 +133,34 @@ def test_pinned_corpus_zero_crashes():
     summary = fuzz_corpus(range(2000))
     assert summary.cases_run == 2000
     assert [crash.describe() for crash in summary.crashes] == []
+
+
+class TestPoolHygiene:
+    """Fuzz vocabulary must not fabricate crawler-significant tokens.
+
+    The fuzz pools feed generated handlers and markup; a pool entry
+    containing an update-event pattern would make the crawler skip the
+    handler (silently shrinking coverage), and one containing a
+    volatile-region marker substring could collide with the noisy-twin
+    oracles' text assertions.
+    """
+
+    POOLS = (
+        fuzz_module._IDENTIFIERS,
+        fuzz_module._STRINGS,
+        fuzz_module._TAGS,
+        fuzz_module._ATTRS,
+    )
+
+    def test_pools_avoid_update_event_patterns(self):
+        patterns = CrawlerConfig().update_event_patterns
+        for pool in self.POOLS:
+            for entry in pool:
+                assert not any(p in entry.lower() for p in patterns), entry
+
+    def test_pools_avoid_volatile_marker_substrings(self):
+        for pool in self.POOLS:
+            for entry in pool:
+                assert not any(
+                    m in entry.lower() for m in VOLATILE_MARKER_SUBSTRINGS
+                ), entry

@@ -5,7 +5,9 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.crawler import CrawlerConfig
 from repro.search import tokenize
+from repro.testgen.noisy import VOLATILE_MARKER_SUBSTRINGS
 from repro.testgen import (
     MIN_STATES,
     SiteSpec,
@@ -138,3 +140,23 @@ class TestSerialization:
         path = tmp_path / "spec.json"
         spec.save(path)
         assert SiteSpec.load(path) == spec
+
+
+class TestCorpusHygiene:
+    """Stable vocabularies must never collide with marker machinery.
+
+    A corpus word containing an ``update_event_patterns`` substring
+    would make the crawler refuse a generated handler; one containing a
+    volatile-region marker substring (``vol``/``zz``) could satisfy a
+    noisy-twin oracle's text assertion from *stable* prose, masking a
+    collapse bug.
+    """
+
+    def test_word_corpus_avoids_update_event_patterns(self):
+        patterns = CrawlerConfig().update_event_patterns
+        for word in WORD_CORPUS:
+            assert not any(p in word for p in patterns), word
+
+    def test_word_corpus_avoids_volatile_marker_substrings(self):
+        for word in WORD_CORPUS:
+            assert not any(m in word for m in VOLATILE_MARKER_SUBSTRINGS), word
